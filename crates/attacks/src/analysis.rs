@@ -1,0 +1,205 @@
+//! Probe-trace analysis: turning observations into key bits and scoring
+//! leakage (the analysis behind Fig. 6).
+
+/// What the attacker observed in one iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeObservation {
+    /// The `square` set showed a miss (victim apparently ran `square`).
+    pub square: bool,
+    /// The `multiply` set showed a miss (victim apparently ran `multiply`).
+    pub multiply: bool,
+}
+
+/// A full attack trace plus ground truth.
+#[derive(Debug, Clone)]
+pub struct ProbeTrace {
+    observations: Vec<ProbeObservation>,
+    truth: Vec<bool>,
+}
+
+/// Result of a key-recovery attempt.
+#[derive(Debug, Clone)]
+pub struct KeyRecovery {
+    /// Bits the attacker inferred (`multiply` observed ⇒ bit = 1).
+    pub inferred: Vec<bool>,
+    /// Fraction of bits inferred correctly.
+    pub accuracy: f64,
+    /// Empirical distinguishability: |P(observe multiply | bit=1) −
+    /// P(observe multiply | bit=0)|. 1.0 = perfect channel, 0.0 = the
+    /// observations carry no information about the key.
+    pub distinguishability: f64,
+}
+
+impl ProbeTrace {
+    /// Builds a trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if observation and truth lengths differ.
+    #[must_use]
+    pub fn new(observations: Vec<ProbeObservation>, truth: Vec<bool>) -> Self {
+        assert_eq!(
+            observations.len(),
+            truth.len(),
+            "one observation per key bit"
+        );
+        Self { observations, truth }
+    }
+
+    /// Number of iterations recorded.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// The raw observations.
+    #[must_use]
+    pub fn observations(&self) -> &[ProbeObservation] {
+        &self.observations
+    }
+
+    /// The ground-truth key bits.
+    #[must_use]
+    pub fn truth(&self) -> &[bool] {
+        &self.truth
+    }
+
+    /// Recovers the key with the paper's rule: a 1-bit is inferred when the
+    /// `multiply` set probes dirty.
+    #[must_use]
+    pub fn recover_key(&self) -> KeyRecovery {
+        let inferred = infer_key_bits(&self.observations);
+        let correct = inferred
+            .iter()
+            .zip(&self.truth)
+            .filter(|(a, b)| a == b)
+            .count();
+        let accuracy = if self.truth.is_empty() {
+            0.0
+        } else {
+            correct as f64 / self.truth.len() as f64
+        };
+        KeyRecovery {
+            accuracy,
+            distinguishability: self.distinguishability(),
+            inferred,
+        }
+    }
+
+    /// |P(multiply observed | bit=1) − P(multiply observed | bit=0)|.
+    #[must_use]
+    pub fn distinguishability(&self) -> f64 {
+        let mut seen = [0u32; 2];
+        let mut total = [0u32; 2];
+        for (obs, &bit) in self.observations.iter().zip(&self.truth) {
+            let idx = usize::from(bit);
+            total[idx] += 1;
+            if obs.multiply {
+                seen[idx] += 1;
+            }
+        }
+        let p = |i: usize| {
+            if total[i] == 0 {
+                // With no samples of this bit value the conditional is
+                // undefined; treat it as indistinguishable.
+                f64::NAN
+            } else {
+                f64::from(seen[i]) / f64::from(total[i])
+            }
+        };
+        let (p1, p0) = (p(1), p(0));
+        if p1.is_nan() || p0.is_nan() {
+            0.0
+        } else {
+            (p1 - p0).abs()
+        }
+    }
+
+    /// Renders the trace as the two dot-rows of Fig. 6: one row per probed
+    /// line, `●` where the attacker observed an access.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut square_row = String::from("square   ");
+        let mut mult_row = String::from("multiply ");
+        let mut truth_row = String::from("key bit  ");
+        for (obs, &bit) in self.observations.iter().zip(&self.truth) {
+            square_row.push(if obs.square { '●' } else { '·' });
+            mult_row.push(if obs.multiply { '●' } else { '·' });
+            truth_row.push(if bit { '1' } else { '0' });
+        }
+        format!("{square_row}\n{mult_row}\n{truth_row}")
+    }
+}
+
+/// The inference rule: observed multiply ⇒ key bit 1.
+#[must_use]
+pub fn infer_key_bits(observations: &[ProbeObservation]) -> Vec<bool> {
+    observations.iter().map(|o| o.multiply).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(square: bool, multiply: bool) -> ProbeObservation {
+        ProbeObservation { square, multiply }
+    }
+
+    #[test]
+    fn perfect_trace_recovers_key() {
+        let truth = vec![true, false, true];
+        let observations = vec![obs(true, true), obs(true, false), obs(true, true)];
+        let trace = ProbeTrace::new(observations, truth);
+        let r = trace.recover_key();
+        assert_eq!(r.inferred, vec![true, false, true]);
+        assert!((r.accuracy - 1.0).abs() < 1e-12);
+        assert!((r.distinguishability - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_ones_observations_carry_no_information() {
+        let truth = vec![true, false, true, false];
+        let observations = vec![obs(true, true); 4];
+        let trace = ProbeTrace::new(observations, truth);
+        let r = trace.recover_key();
+        assert!((r.accuracy - 0.5).abs() < 1e-12);
+        assert_eq!(r.distinguishability, 0.0);
+    }
+
+    #[test]
+    fn distinguishability_handles_single_valued_keys() {
+        let truth = vec![true, true];
+        let observations = vec![obs(true, true), obs(true, true)];
+        let trace = ProbeTrace::new(observations, truth);
+        assert_eq!(trace.distinguishability(), 0.0);
+    }
+
+    #[test]
+    fn render_shows_dots() {
+        let trace = ProbeTrace::new(vec![obs(true, false)], vec![false]);
+        let s = trace.render();
+        assert!(s.contains("square"));
+        assert!(s.contains('●'));
+        assert!(s.contains('·'));
+        assert!(s.contains('0'));
+    }
+
+    #[test]
+    #[should_panic(expected = "one observation per key bit")]
+    fn mismatched_lengths_panic() {
+        let _ = ProbeTrace::new(vec![obs(true, true)], vec![true, false]);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let trace = ProbeTrace::new(Vec::new(), Vec::new());
+        assert!(trace.is_empty());
+        assert_eq!(trace.recover_key().accuracy, 0.0);
+    }
+}

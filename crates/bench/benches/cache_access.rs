@@ -1,0 +1,82 @@
+//! Criterion microbenchmarks of the cache-hierarchy simulator: per-access
+//! cost at each hit level and the replacement-policy ablation.
+
+use cache_sim::{AccessKind, Addr, CoreId, Hierarchy, NullObserver, Replacement, SystemConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn l1_hit(c: &mut Criterion) {
+    let mut h = Hierarchy::new(SystemConfig::paper_default());
+    let mut obs = NullObserver;
+    h.access(CoreId(0), Addr(0x1000), AccessKind::Read, 0, &mut obs);
+    let mut now = 1;
+    c.bench_function("hierarchy_l1_hit", |b| {
+        b.iter(|| {
+            now += 1;
+            black_box(h.access(
+                CoreId(0),
+                black_box(Addr(0x1000)),
+                AccessKind::Read,
+                now,
+                &mut obs,
+            ))
+        });
+    });
+}
+
+fn memory_miss_stream(c: &mut Criterion) {
+    c.bench_function("hierarchy_miss_stream_4k", |b| {
+        b.iter(|| {
+            let mut h = Hierarchy::new(SystemConfig::paper_default());
+            let mut obs = NullObserver;
+            for i in 0..4096u64 {
+                h.access(
+                    CoreId(0),
+                    black_box(Addr(i * 64 * 4096)),
+                    AccessKind::Read,
+                    i,
+                    &mut obs,
+                );
+            }
+            black_box(h.stats().llc_evictions)
+        });
+    });
+}
+
+fn replacement_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replacement_thrash_one_set");
+    for (name, repl) in [
+        ("lru", Replacement::Lru),
+        ("tree_plru", Replacement::TreePlru),
+        ("random", Replacement::Random { seed: 9 }),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &repl, |b, &repl| {
+            b.iter(|| {
+                let mut cfg = SystemConfig::paper_default();
+                cfg.replacement = repl;
+                let mut h = Hierarchy::new(cfg);
+                let mut obs = NullObserver;
+                // 20 lines round-robin in one 16-way LLC set.
+                for i in 0..20_000u64 {
+                    let line = (i % 20) * 4096;
+                    h.access(CoreId(0), Addr(line * 64), AccessKind::Read, i, &mut obs);
+                }
+                black_box(h.stats().core(CoreId(0)).l3.misses)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = l1_hit, memory_miss_stream, replacement_ablation);
+criterion_main!(benches);

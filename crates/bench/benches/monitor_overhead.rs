@@ -1,0 +1,48 @@
+//! Criterion benchmark of the monitor's runtime overhead on the simulator:
+//! the same workload with a null observer vs PiPoMonitor. (In hardware the
+//! monitor is off the critical path; here this measures simulation cost and
+//! confirms the observer hook is cheap.)
+
+use cache_sim::{CoreId, NullObserver, System, SystemConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use pipo_workloads::{benchmark, ProfileSource};
+use pipomonitor::{MonitorConfig, PiPoMonitor};
+use std::hint::black_box;
+
+const INSTRUCTIONS: u64 = 100_000;
+
+fn baseline_sim(c: &mut Criterion) {
+    c.bench_function("sim_mix_core_baseline_100k", |b| {
+        b.iter(|| {
+            let mut system = System::new(SystemConfig::paper_default(), NullObserver);
+            let profile = benchmark("gcc").expect("known");
+            system.set_source(CoreId(0), Box::new(ProfileSource::new(profile, 0, 1)));
+            black_box(system.run(INSTRUCTIONS).makespan())
+        });
+    });
+}
+
+fn monitored_sim(c: &mut Criterion) {
+    c.bench_function("sim_mix_core_monitored_100k", |b| {
+        b.iter(|| {
+            let monitor = PiPoMonitor::new(MonitorConfig::paper_default()).expect("valid config");
+            let mut system = System::new(SystemConfig::paper_default(), monitor);
+            let profile = benchmark("gcc").expect("known");
+            system.set_source(CoreId(0), Box::new(ProfileSource::new(profile, 0, 1)));
+            black_box(system.run(INSTRUCTIONS).makespan())
+        });
+    });
+}
+
+fn quick() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group!(
+    name = benches;
+    config = quick();
+    targets = baseline_sim, monitored_sim);
+criterion_main!(benches);

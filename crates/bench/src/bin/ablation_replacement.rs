@@ -1,0 +1,82 @@
+//! Ablation: LLC replacement policy vs the Prime+Probe attack and the
+//! monitor's false positives.
+//!
+//! The paper evaluates LRU only. Random replacement weakens the attacker's
+//! prime precision (a primed way may survive), while Tree-PLRU behaves close
+//! to LRU. The monitor's detection is replacement-agnostic because it
+//! watches memory traffic, not set state.
+//!
+//! Run: `cargo run --release -p pipo-bench --bin ablation_replacement [instructions]`
+
+use cache_sim::{Hierarchy, NullObserver, Replacement, SystemConfig};
+use pipo_attacks::{AttackConfig, PrimeProbeAttack, SquareAndMultiply, VictimLayout};
+use pipo_bench::{instructions_from_args, run_mix_monitored_on};
+use pipo_workloads::all_mixes;
+use pipomonitor::{MonitorConfig, PiPoMonitor};
+
+fn attack_under(replacement: Replacement) -> (f64, f64) {
+    let config = AttackConfig {
+        iterations: 100,
+        ..AttackConfig::paper_default()
+    };
+    let mut cfg = SystemConfig::paper_default();
+    cfg.replacement = replacement;
+    let mut hierarchy = Hierarchy::new(cfg.clone());
+    let victim = SquareAndMultiply::with_random_key(
+        VictimLayout::default_layout(),
+        100 * config.bits_per_window,
+        99,
+    );
+    let mut baseline = NullObserver;
+    let base = PrimeProbeAttack::new(config)
+        .run(&mut hierarchy, victim.clone(), &mut baseline)
+        .trace
+        .recover_key();
+
+    let mut hierarchy = Hierarchy::new(cfg);
+    let mut monitor = PiPoMonitor::new(MonitorConfig::paper_default()).expect("valid");
+    let defended = PrimeProbeAttack::new(config)
+        .run(&mut hierarchy, victim, &mut monitor)
+        .trace
+        .recover_key();
+    (base.distinguishability, defended.distinguishability)
+}
+
+fn main() {
+    let policies = [
+        ("lru", Replacement::Lru),
+        ("tree-plru", Replacement::TreePlru),
+        ("random", Replacement::Random { seed: 5 }),
+    ];
+
+    println!("replacement ablation — attack channel distinguishability");
+    println!(
+        "{:>10} {:>14} {:>14}",
+        "policy", "baseline", "with monitor"
+    );
+    for (name, policy) in policies {
+        let (base, defended) = attack_under(policy);
+        println!("{name:>10} {base:>14.3} {defended:>14.3}");
+    }
+
+    // Monitor false positives under each policy (mix1, scaled run).
+    let instructions = instructions_from_args().min(500_000);
+    println!("\nmonitor false positives on mix1 ({instructions} instructions/core)");
+    println!("{:>10} {:>10} {:>12}", "policy", "fp/Mi", "norm perf");
+    for (name, policy) in policies {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.replacement = policy;
+        let run = run_mix_monitored_on(
+            &all_mixes()[0],
+            cfg,
+            MonitorConfig::paper_default(),
+            instructions,
+            42,
+        );
+        println!(
+            "{name:>10} {:>10.1} {:>12.4}",
+            run.false_positives_per_mi(),
+            run.normalized_performance()
+        );
+    }
+}

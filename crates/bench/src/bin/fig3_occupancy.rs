@@ -1,0 +1,69 @@
+//! Fig. 3: occupancy of the Auto-Cuckoo filter as insertions accumulate,
+//! for different MNK values.
+//!
+//! Paper result: occupancy is insensitive to MNK; curves for all MNK values
+//! overlap, are identical below ~9 K insertions, and reach 100 % by ~12.5 K
+//! insertions for the l=1024, b=8 configuration — even with MNK = 2.
+//!
+//! Run: `cargo run --release -p pipo-bench --bin fig3_occupancy`
+
+use auto_cuckoo::{AutoCuckooFilter, FilterParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mnks = [0u32, 1, 2, 4, 8];
+    let checkpoints: Vec<u64> = (1..=16).map(|k| k * 1000).collect();
+
+    println!("Fig. 3 — Auto-Cuckoo filter occupancy vs insertions (l=1024, b=8, f=12)");
+    print!("{:>12}", "insertions");
+    for mnk in mnks {
+        print!("  MNK={mnk:<4}");
+    }
+    println!();
+
+    let mut curves: Vec<Vec<f64>> = Vec::new();
+    for mnk in mnks {
+        let params = FilterParams::builder()
+            .max_kicks(mnk)
+            .build()
+            .expect("valid parameters");
+        let mut filter = AutoCuckooFilter::new(params).expect("valid parameters");
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut curve = Vec::new();
+        let mut inserted = 0u64;
+        for &cp in &checkpoints {
+            while inserted < cp {
+                // Random addresses from the whole memory address space.
+                filter.query(rng.gen::<u64>() | 1);
+                inserted += 1;
+            }
+            curve.push(filter.occupancy());
+        }
+        curves.push(curve);
+    }
+
+    for (row, cp) in checkpoints.iter().enumerate() {
+        print!("{cp:>12}");
+        for curve in &curves {
+            print!("  {:>7.4}", curve[row]);
+        }
+        println!();
+    }
+
+    // Shape summary, mirroring the paper's observations.
+    let at_12_5k = {
+        let params = FilterParams::builder()
+            .max_kicks(2)
+            .build()
+            .expect("valid parameters");
+        let mut filter = AutoCuckooFilter::new(params).expect("valid parameters");
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..12_500 {
+            filter.query(rng.gen::<u64>() | 1);
+        }
+        filter.occupancy()
+    };
+    println!();
+    println!("occupancy at 12.5K insertions with MNK=2: {at_12_5k:.4} (paper: 1.00)");
+}

@@ -1,0 +1,86 @@
+//! Fig. 8: performance evaluation over the ten SPEC-mix workloads with
+//! different Auto-Cuckoo filter sizes.
+//!
+//! * Fig. 8(a): performance normalised to the unprotected baseline (higher
+//!   is better). Paper: +0.1 % on average for l=1024, b=8; mix1 improves the
+//!   most (+0.3 %); several mixes unchanged; all sizes within ±0.2 %.
+//! * Fig. 8(b): false positives (captured Ping-Pong lines) per million
+//!   instructions. Paper: mix1 ≈ 97 and mix7 ≈ 71 are the largest;
+//!   mix3/mix6 below 20.
+//!
+//! Run: `cargo run --release -p pipo-bench --bin fig8_performance [instructions_per_core]`
+
+use auto_cuckoo::FilterParams;
+use pipo_bench::{fig8_filter_sizes, filter_with_size, instructions_from_args, run_mix_monitored};
+use pipo_workloads::all_mixes;
+use pipomonitor::MonitorConfig;
+
+fn main() {
+    let instructions = instructions_from_args();
+    let sizes = fig8_filter_sizes();
+    let mixes = all_mixes();
+    println!(
+        "Fig. 8 — {} instructions per core, filter sizes {:?}",
+        instructions, sizes
+    );
+
+    // results[size][mix]
+    let mut results = Vec::new();
+    for &(l, b) in &sizes {
+        let filter: FilterParams = filter_with_size(l, b);
+        let config = MonitorConfig::paper_default().with_filter(filter);
+        let runs: Vec<_> = mixes
+            .iter()
+            .map(|mix| run_mix_monitored(mix, config, instructions, 42))
+            .collect();
+        results.push(runs);
+    }
+
+    println!("\nFig. 8(a) — normalized performance (baseline = 1.0000, higher is better)");
+    print!("{:>7}", "mix");
+    for &(l, b) in &sizes {
+        print!("  {l:>5}x{b:<2}");
+    }
+    println!();
+    for (m, mix) in mixes.iter().enumerate() {
+        print!("{:>7}", mix.name);
+        for runs in &results {
+            print!("  {:>8.4}", runs[m].normalized_performance());
+        }
+        println!();
+    }
+    print!("{:>7}", "mean");
+    for runs in &results {
+        let mean: f64 =
+            runs.iter().map(MixRunExt::np).sum::<f64>() / runs.len() as f64;
+        print!("  {mean:>8.4}");
+    }
+    println!();
+
+    println!("\nFig. 8(b) — false positives per million instructions");
+    print!("{:>7}", "mix");
+    for &(l, b) in &sizes {
+        print!("  {l:>5}x{b:<2}");
+    }
+    println!();
+    for (m, mix) in mixes.iter().enumerate() {
+        print!("{:>7}", mix.name);
+        for runs in &results {
+            print!("  {:>8.1}", runs[m].false_positives_per_mi());
+        }
+        println!();
+    }
+
+    println!("\npaper: avg +0.1% for 1024x8; mix1 up to +0.3%; size impact < 0.2%");
+    println!("paper FP/Mi at 1024x8: mix1 ~97, mix7 ~71, mix3/mix6 < 20");
+}
+
+trait MixRunExt {
+    fn np(&self) -> f64;
+}
+
+impl MixRunExt for pipo_bench::MixRun {
+    fn np(&self) -> f64 {
+        self.normalized_performance()
+    }
+}

@@ -1,0 +1,37 @@
+//! §VII-D hardware overhead: storage and area of PiPoMonitor relative to the
+//! 4 MB LLC it protects.
+//!
+//! Paper result (l=1024, b=8, f=12, CACTI 7 @ 22 nm): 8192 entries × 15 bits
+//! = 15 KB storage = 0.37 % of the LLC; 0.013 mm² = 0.32 % of the LLC area.
+//! Area here is scaled linearly from the paper's published CACTI data point
+//! (see DESIGN.md, substitutions).
+//!
+//! Run: `cargo run --release -p pipo-bench --bin overhead_table`
+
+use pipo_bench::{fig8_filter_sizes, filter_with_size};
+use pipomonitor::OverheadReport;
+
+fn main() {
+    let llc_bytes: u64 = 4 << 20;
+    println!("§VII-D — PiPoMonitor hardware overhead against a 4 MB LLC");
+    println!(
+        "{:>9} {:>8} {:>12} {:>10} {:>12} {:>10} {:>12}",
+        "size", "entries", "bits/entry", "KiB", "% of LLC", "mm^2", "% LLC area"
+    );
+    for (l, b) in fig8_filter_sizes() {
+        let params = filter_with_size(l, b);
+        let report = OverheadReport::for_filter(&params, llc_bytes);
+        println!(
+            "{:>6}x{:<2} {:>8} {:>12} {:>10.2} {:>12.3} {:>10.4} {:>12.3}",
+            l,
+            b,
+            report.storage.entries,
+            report.storage.bits_per_entry,
+            report.storage.total_kib,
+            report.storage.relative_to_llc * 100.0,
+            report.area_mm2,
+            report.area_relative_to_llc * 100.0
+        );
+    }
+    println!("\npaper (1024x8): 15 KB storage (0.37%), 0.013 mm^2 (0.32%)");
+}

@@ -1,0 +1,54 @@
+//! §VII-C sensitivity analysis: the security threshold secThr.
+//!
+//! Paper result: secThr = 3 gives better average performance than 1 or 2,
+//! because smaller thresholds capture (and prefetch) more aggressively and
+//! generate more false positives.
+//!
+//! Run: `cargo run --release -p pipo-bench --bin sensitivity_secthr [instructions_per_core]`
+
+use auto_cuckoo::FilterParams;
+use pipo_bench::{instructions_from_args, run_mix_monitored};
+use pipo_workloads::all_mixes;
+use pipomonitor::MonitorConfig;
+
+fn main() {
+    let instructions = instructions_from_args();
+    let mixes = all_mixes();
+    println!("§VII-C — secThr sensitivity, {instructions} instructions per core");
+    println!(
+        "{:>7} {:>12} {:>12} {:>12}   {:>12} {:>12} {:>12}",
+        "mix", "perf thr=1", "perf thr=2", "perf thr=3", "fp/Mi thr=1", "fp/Mi thr=2", "fp/Mi thr=3"
+    );
+
+    let mut sums = [0.0f64; 3];
+    for mix in &mixes {
+        let mut perfs = Vec::new();
+        let mut fps = Vec::new();
+        for thr in 1..=3u8 {
+            let filter = FilterParams::builder()
+                .security_threshold(thr)
+                .build()
+                .expect("valid parameters");
+            let config = MonitorConfig::paper_default().with_filter(filter);
+            let run = run_mix_monitored(mix, config, instructions, 42);
+            perfs.push(run.normalized_performance());
+            fps.push(run.false_positives_per_mi());
+        }
+        println!(
+            "{:>7} {:>12.4} {:>12.4} {:>12.4}   {:>12.1} {:>12.1} {:>12.1}",
+            mix.name, perfs[0], perfs[1], perfs[2], fps[0], fps[1], fps[2]
+        );
+        for (i, p) in perfs.iter().enumerate() {
+            sums[i] += p;
+        }
+    }
+    let n = mixes.len() as f64;
+    println!(
+        "{:>7} {:>12.4} {:>12.4} {:>12.4}",
+        "mean",
+        sums[0] / n,
+        sums[1] / n,
+        sums[2] / n
+    );
+    println!("\npaper: average performance at secThr=3 is better than at 1 or 2");
+}

@@ -1,0 +1,197 @@
+//! Shared harness code for the experiment binaries that regenerate every
+//! table and figure of the PiPoMonitor paper. See `DESIGN.md` §4 for the
+//! experiment index and `EXPERIMENTS.md` for recorded results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use auto_cuckoo::FilterParams;
+use cache_sim::{CoreId, NullObserver, SimReport, System, SystemConfig};
+use pipo_workloads::{Mix, ProfileSource};
+use pipomonitor::{MonitorConfig, PiPoMonitor};
+
+/// Default instructions simulated per core for performance experiments.
+/// The paper simulates 1 B instructions per benchmark on Gem5; this
+/// trace-driven simulator reproduces the same relative behaviour at a
+/// laptop-friendly scale (override with a CLI argument in the binaries).
+pub const DEFAULT_INSTRUCTIONS: u64 = 2_000_000;
+
+/// Result of one monitored mix simulation.
+#[derive(Debug, Clone)]
+pub struct MixRun {
+    /// Mix name.
+    pub mix: &'static str,
+    /// Baseline (unprotected) makespan in cycles.
+    pub baseline_cycles: u64,
+    /// Monitored makespan in cycles.
+    pub monitored_cycles: u64,
+    /// Total instructions retired in the monitored run.
+    pub instructions: u64,
+    /// Monitor captures (false positives on benign workloads).
+    pub captures: u64,
+    /// Prefetches issued.
+    pub prefetches: u64,
+    /// LLC hits on prefetched-but-untouched lines (prefetch benefit).
+    pub prefetch_hits: u64,
+}
+
+impl MixRun {
+    /// Normalised performance: baseline time / monitored time (higher is
+    /// better; > 1.0 means the monitor *improved* performance).
+    #[must_use]
+    pub fn normalized_performance(&self) -> f64 {
+        self.baseline_cycles as f64 / self.monitored_cycles as f64
+    }
+
+    /// False positives per million instructions (Fig. 8(b)'s metric).
+    #[must_use]
+    pub fn false_positives_per_mi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.captures as f64 * 1.0e6 / self.instructions as f64
+        }
+    }
+}
+
+/// Runs one mix on the baseline system.
+#[must_use]
+pub fn run_mix_baseline(mix: &Mix, instructions: u64, seed: u64) -> SimReport {
+    let mut system = System::new(SystemConfig::paper_default(), NullObserver);
+    for (core, bench) in mix.benchmarks.iter().enumerate() {
+        system.set_source(CoreId(core), Box::new(ProfileSource::new(bench, core, seed)));
+    }
+    system.run(instructions)
+}
+
+/// Runs one mix baseline + monitored and collects the paper's metrics.
+///
+/// # Panics
+///
+/// Panics if `monitor_config` holds invalid filter parameters.
+#[must_use]
+pub fn run_mix_monitored(
+    mix: &Mix,
+    monitor_config: MonitorConfig,
+    instructions: u64,
+    seed: u64,
+) -> MixRun {
+    run_mix_monitored_on(
+        mix,
+        SystemConfig::paper_default(),
+        monitor_config,
+        instructions,
+        seed,
+    )
+}
+
+/// Like [`run_mix_monitored`] but on a custom system configuration (used by
+/// the replacement-policy ablation).
+///
+/// # Panics
+///
+/// Panics if `monitor_config` holds invalid filter parameters or
+/// `system_config` is invalid.
+#[must_use]
+pub fn run_mix_monitored_on(
+    mix: &Mix,
+    system_config: SystemConfig,
+    monitor_config: MonitorConfig,
+    instructions: u64,
+    seed: u64,
+) -> MixRun {
+    let mut baseline_sys = System::new(system_config.clone(), NullObserver);
+    for (core, bench) in mix.benchmarks.iter().enumerate() {
+        baseline_sys.set_source(CoreId(core), Box::new(ProfileSource::new(bench, core, seed)));
+    }
+    let baseline = baseline_sys.run(instructions);
+
+    let monitor = PiPoMonitor::new(monitor_config).expect("valid monitor configuration");
+    let mut system = System::new(system_config, monitor);
+    for (core, bench) in mix.benchmarks.iter().enumerate() {
+        system.set_source(CoreId(core), Box::new(ProfileSource::new(bench, core, seed)));
+    }
+    let monitored = system.run(instructions);
+    let stats = *system.observer().stats();
+
+    MixRun {
+        mix: mix.name,
+        baseline_cycles: baseline.makespan(),
+        monitored_cycles: monitored.makespan(),
+        instructions: monitored.total_instructions(),
+        captures: stats.captures,
+        prefetches: stats.prefetches_scheduled,
+        prefetch_hits: monitored.stats.prefetch_hits,
+    }
+}
+
+/// The five Auto-Cuckoo filter sizes evaluated in Fig. 8: `(l, b)` pairs.
+#[must_use]
+pub fn fig8_filter_sizes() -> Vec<(usize, usize)> {
+    vec![(512, 8), (1024, 8), (1024, 16), (2048, 4), (2048, 8)]
+}
+
+/// Builds the paper's filter parameters with a custom geometry.
+///
+/// # Panics
+///
+/// Panics if the geometry is invalid (all Fig. 8 geometries are valid).
+#[must_use]
+pub fn filter_with_size(l: usize, b: usize) -> FilterParams {
+    FilterParams::builder()
+        .buckets(l)
+        .entries_per_bucket(b)
+        .build()
+        .expect("figure-8 geometry is valid")
+}
+
+/// Parses an optional instruction-count CLI argument.
+#[must_use]
+pub fn instructions_from_args() -> u64 {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_INSTRUCTIONS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipo_workloads::all_mixes;
+
+    #[test]
+    fn mix_run_metrics() {
+        let run = MixRun {
+            mix: "mix1",
+            baseline_cycles: 1010,
+            monitored_cycles: 1000,
+            instructions: 2_000_000,
+            captures: 100,
+            prefetches: 120,
+            prefetch_hits: 60,
+        };
+        assert!((run.normalized_performance() - 1.01).abs() < 1e-12);
+        assert!((run.false_positives_per_mi() - 50.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig8_sizes_match_paper() {
+        let sizes = fig8_filter_sizes();
+        assert_eq!(sizes.len(), 5);
+        assert!(sizes.contains(&(1024, 8)));
+        assert!(sizes.contains(&(2048, 4)));
+    }
+
+    #[test]
+    fn short_mix_run_is_consistent() {
+        let mix = &all_mixes()[2]; // mix3: light, fast
+        let run = run_mix_monitored(mix, MonitorConfig::paper_default(), 50_000, 1);
+        assert_eq!(run.mix, "mix3");
+        assert!(run.baseline_cycles > 0);
+        assert!(run.monitored_cycles > 0);
+        assert!(run.instructions >= 4 * 50_000);
+        // Performance deltas stay well under 5% even at tiny scale.
+        let np = run.normalized_performance();
+        assert!((0.95..1.05).contains(&np), "normalized perf {np}");
+    }
+}

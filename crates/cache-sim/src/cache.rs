@@ -1,0 +1,331 @@
+//! A generic set-associative cache with pluggable replacement.
+
+use crate::config::CacheGeometry;
+use crate::line::LineMeta;
+use crate::replacement::{Replacement, ReplacementPolicy};
+use crate::types::LineAddr;
+
+/// A line evicted by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EvictedLine {
+    /// The evicted line's address.
+    pub line: LineAddr,
+    /// Its metadata at eviction time.
+    pub meta: LineMeta,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    valid: bool,
+    tag: u64,
+    meta: LineMeta,
+}
+
+/// One set-associative cache level.
+///
+/// Lines are identified by [`LineAddr`]; the set index is the low bits of the
+/// line address and the tag is the remainder. The cache does not know its
+/// level — the [`Hierarchy`](crate::Hierarchy) composes caches into L1/L2/L3.
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::{Cache, CacheGeometry, LineAddr, LineMeta};
+/// use cache_sim::Replacement;
+///
+/// let mut c = Cache::new(CacheGeometry { sets: 4, ways: 2, latency: 2 }, Replacement::Lru);
+/// assert!(!c.contains(LineAddr(5)));
+/// let evicted = c.fill(LineAddr(5), LineMeta::default());
+/// assert!(evicted.is_none());
+/// assert!(c.contains(LineAddr(5)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geometry: CacheGeometry,
+    slots: Vec<Slot>,
+    policy: ReplacementPolicy,
+    set_mask: u64,
+    set_shift: u32,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has a non-power-of-two set count.
+    #[must_use]
+    pub fn new(geometry: CacheGeometry, replacement: Replacement) -> Self {
+        assert!(
+            geometry.sets.is_power_of_two(),
+            "set count must be a power of two"
+        );
+        let policy = ReplacementPolicy::new(replacement, geometry.sets, geometry.ways);
+        Self {
+            slots: vec![Slot::default(); geometry.lines()],
+            set_mask: (geometry.sets as u64) - 1,
+            set_shift: geometry.sets.trailing_zeros(),
+            geometry,
+            policy,
+        }
+    }
+
+    /// The cache geometry.
+    #[must_use]
+    pub fn geometry(&self) -> &CacheGeometry {
+        &self.geometry
+    }
+
+    /// Set index of a line.
+    #[must_use]
+    pub fn set_of(&self, line: LineAddr) -> usize {
+        (line.0 & self.set_mask) as usize
+    }
+
+    fn tag_of(&self, line: LineAddr) -> u64 {
+        line.0 >> self.set_shift
+    }
+
+    fn line_of(&self, set: usize, tag: u64) -> LineAddr {
+        LineAddr((tag << self.set_shift) | set as u64)
+    }
+
+    fn slot_index(&self, set: usize, way: usize) -> usize {
+        set * self.geometry.ways + way
+    }
+
+    fn find(&self, line: LineAddr) -> Option<(usize, usize)> {
+        let set = self.set_of(line);
+        let tag = self.tag_of(line);
+        for way in 0..self.geometry.ways {
+            let slot = &self.slots[self.slot_index(set, way)];
+            if slot.valid && slot.tag == tag {
+                return Some((set, way));
+            }
+        }
+        None
+    }
+
+    /// Whether the line is resident.
+    #[must_use]
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.find(line).is_some()
+    }
+
+    /// Looks a line up *and* updates replacement state on a hit. Returns the
+    /// line's metadata when resident.
+    pub fn touch(&mut self, line: LineAddr) -> Option<&mut LineMeta> {
+        let (set, way) = self.find(line)?;
+        self.policy.on_touch(set, way);
+        let idx = self.slot_index(set, way);
+        Some(&mut self.slots[idx].meta)
+    }
+
+    /// Reads a line's metadata without updating replacement state.
+    #[must_use]
+    pub fn peek(&self, line: LineAddr) -> Option<&LineMeta> {
+        let (set, way) = self.find(line)?;
+        Some(&self.slots[self.slot_index(set, way)].meta)
+    }
+
+    /// Mutates a line's metadata without updating replacement state.
+    pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut LineMeta> {
+        let (set, way) = self.find(line)?;
+        let idx = self.slot_index(set, way);
+        Some(&mut self.slots[idx].meta)
+    }
+
+    /// Inserts a line, evicting a victim if the set is full. The new line is
+    /// marked most-recently-used. If the line is already resident its
+    /// metadata is replaced in place (no eviction).
+    pub fn fill(&mut self, line: LineAddr, meta: LineMeta) -> Option<EvictedLine> {
+        let set = self.set_of(line);
+        let tag = self.tag_of(line);
+        // Already resident: overwrite metadata.
+        if let Some((set, way)) = self.find(line) {
+            self.policy.on_touch(set, way);
+            let idx = self.slot_index(set, way);
+            self.slots[idx].meta = meta;
+            return None;
+        }
+        // Prefer an invalid way.
+        for way in 0..self.geometry.ways {
+            let idx = self.slot_index(set, way);
+            if !self.slots[idx].valid {
+                self.slots[idx] = Slot {
+                    valid: true,
+                    tag,
+                    meta,
+                };
+                self.policy.on_touch(set, way);
+                return None;
+            }
+        }
+        // Evict a victim.
+        let way = self.policy.victim(set);
+        let idx = self.slot_index(set, way);
+        let victim = self.slots[idx];
+        self.slots[idx] = Slot {
+            valid: true,
+            tag,
+            meta,
+        };
+        self.policy.on_touch(set, way);
+        Some(EvictedLine {
+            line: self.line_of(set, victim.tag),
+            meta: victim.meta,
+        })
+    }
+
+    /// Removes a line, returning its metadata if it was resident.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<LineMeta> {
+        let (set, way) = self.find(line)?;
+        let idx = self.slot_index(set, way);
+        let meta = self.slots[idx].meta;
+        self.slots[idx] = Slot::default();
+        Some(meta)
+    }
+
+    /// Number of valid lines resident.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.valid).count()
+    }
+
+    /// Whether the cache holds no lines.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| !s.valid)
+    }
+
+    /// Iterates over resident lines and their metadata.
+    pub fn resident_lines(&self) -> impl Iterator<Item = (LineAddr, &LineMeta)> + '_ {
+        self.slots.iter().enumerate().filter_map(move |(idx, s)| {
+            if s.valid {
+                let set = idx / self.geometry.ways;
+                Some((self.line_of(set, s.tag), &s.meta))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache(sets: usize, ways: usize) -> Cache {
+        Cache::new(
+            CacheGeometry {
+                sets,
+                ways,
+                latency: 1,
+            },
+            Replacement::Lru,
+        )
+    }
+
+    #[test]
+    fn fill_and_lookup() {
+        let mut c = cache(4, 2);
+        assert!(c.fill(LineAddr(0x10), LineMeta::default()).is_none());
+        assert!(c.contains(LineAddr(0x10)));
+        assert!(!c.contains(LineAddr(0x11)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn set_mapping_uses_low_bits() {
+        let c = cache(4, 2);
+        assert_eq!(c.set_of(LineAddr(0)), 0);
+        assert_eq!(c.set_of(LineAddr(5)), 1);
+        assert_eq!(c.set_of(LineAddr(7)), 3);
+    }
+
+    #[test]
+    fn eviction_returns_lru_victim_with_correct_address() {
+        let mut c = cache(2, 2);
+        // Lines 0, 2, 4 all map to set 0 (even line numbers).
+        assert!(c.fill(LineAddr(0), LineMeta::default()).is_none());
+        assert!(c.fill(LineAddr(2), LineMeta::default()).is_none());
+        let evicted = c.fill(LineAddr(4), LineMeta::default()).expect("set full");
+        assert_eq!(evicted.line, LineAddr(0));
+        assert!(!c.contains(LineAddr(0)));
+        assert!(c.contains(LineAddr(2)));
+        assert!(c.contains(LineAddr(4)));
+    }
+
+    #[test]
+    fn touch_refreshes_recency() {
+        let mut c = cache(2, 2);
+        c.fill(LineAddr(0), LineMeta::default());
+        c.fill(LineAddr(2), LineMeta::default());
+        c.touch(LineAddr(0)); // now line 2 is LRU
+        let evicted = c.fill(LineAddr(4), LineMeta::default()).expect("set full");
+        assert_eq!(evicted.line, LineAddr(2));
+    }
+
+    #[test]
+    fn refill_of_resident_line_replaces_meta_without_eviction() {
+        let mut c = cache(2, 1);
+        c.fill(LineAddr(0), LineMeta::default());
+        let mut meta = LineMeta::default();
+        meta.dirty = true;
+        let evicted = c.fill(LineAddr(0), meta);
+        assert!(evicted.is_none());
+        assert!(c.peek(LineAddr(0)).expect("resident").dirty);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn invalidate_removes_and_returns_meta() {
+        let mut c = cache(2, 2);
+        let mut meta = LineMeta::default();
+        meta.protected = true;
+        c.fill(LineAddr(6), meta);
+        let got = c.invalidate(LineAddr(6)).expect("resident");
+        assert!(got.protected);
+        assert!(!c.contains(LineAddr(6)));
+        assert!(c.invalidate(LineAddr(6)).is_none());
+    }
+
+    #[test]
+    fn peek_does_not_disturb_lru() {
+        let mut c = cache(2, 2);
+        c.fill(LineAddr(0), LineMeta::default());
+        c.fill(LineAddr(2), LineMeta::default());
+        let _ = c.peek(LineAddr(0));
+        // Line 0 is still LRU because peek doesn't touch.
+        let evicted = c.fill(LineAddr(4), LineMeta::default()).expect("set full");
+        assert_eq!(evicted.line, LineAddr(0));
+    }
+
+    #[test]
+    fn resident_lines_enumerates_all() {
+        let mut c = cache(4, 2);
+        for i in 0..5u64 {
+            c.fill(LineAddr(i), LineMeta::default());
+        }
+        let mut lines: Vec<_> = c.resident_lines().map(|(l, _)| l.0).collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = cache(4, 1);
+        for i in 0..4u64 {
+            assert!(c.fill(LineAddr(i), LineMeta::default()).is_none());
+        }
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn meta_mutation_via_peek_mut() {
+        let mut c = cache(2, 1);
+        c.fill(LineAddr(1), LineMeta::default());
+        c.peek_mut(LineAddr(1)).expect("resident").accessed = true;
+        assert!(c.peek(LineAddr(1)).expect("resident").accessed);
+    }
+}

@@ -1,0 +1,259 @@
+//! System and per-level cache configuration (paper Table II).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::replacement::Replacement;
+use crate::types::Cycle;
+
+/// Error produced when validating a [`CacheGeometry`] or [`SystemConfig`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// A size, way count, or line size was zero or not a power of two where
+    /// required.
+    BadGeometry(&'static str),
+    /// The system needs at least one core.
+    NoCores,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BadGeometry(what) => write!(f, "invalid cache geometry: {what}"),
+            ConfigError::NoCores => write!(f, "system must have at least one core"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Number of sets. Power of two.
+    pub sets: usize,
+    /// Associativity (ways per set).
+    pub ways: usize,
+    /// Hit latency in cycles.
+    pub latency: Cycle,
+}
+
+impl CacheGeometry {
+    /// Builds a geometry from a total capacity in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not divisible into a power-of-two number of
+    /// sets, or any argument is zero.
+    #[must_use]
+    pub fn from_capacity(bytes: usize, ways: usize, line_size: usize, latency: Cycle) -> Self {
+        assert!(bytes > 0 && ways > 0 && line_size > 0, "zero geometry argument");
+        let lines = bytes / line_size;
+        assert!(lines % ways == 0, "capacity must divide into whole sets");
+        let sets = lines / ways;
+        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
+        Self { sets, ways, latency }
+    }
+
+    /// Total line capacity (`sets × ways`).
+    #[must_use]
+    pub fn lines(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Total byte capacity for a given line size.
+    #[must_use]
+    pub fn capacity_bytes(&self, line_size: usize) -> usize {
+        self.lines() * line_size
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::BadGeometry`] for zero or non-power-of-two sets.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.sets == 0 {
+            return Err(ConfigError::BadGeometry("zero sets"));
+        }
+        if !self.sets.is_power_of_two() {
+            return Err(ConfigError::BadGeometry("sets not a power of two"));
+        }
+        if self.ways == 0 {
+            return Err(ConfigError::BadGeometry("zero ways"));
+        }
+        Ok(())
+    }
+}
+
+/// Full system configuration.
+///
+/// # Examples
+///
+/// The paper's baseline (Table II): quad-core, 64 KB 4-way L1 (2 cycles),
+/// 256 KB 8-way L2 (18 cycles), shared 4 MB 16-way L3 (35 cycles), 200-cycle
+/// DRAM:
+///
+/// ```
+/// use cache_sim::SystemConfig;
+///
+/// let cfg = SystemConfig::paper_default();
+/// assert_eq!(cfg.cores, 4);
+/// assert_eq!(cfg.l3.sets, 4096);
+/// assert_eq!(cfg.l3.ways, 16);
+/// assert_eq!(cfg.dram_latency, 200);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// Number of cores.
+    pub cores: usize,
+    /// Cache line size in bytes (power of two).
+    pub line_size: usize,
+    /// Private L1 data cache geometry.
+    pub l1: CacheGeometry,
+    /// Private L2 cache geometry.
+    pub l2: CacheGeometry,
+    /// Shared inclusive L3 geometry.
+    pub l3: CacheGeometry,
+    /// DRAM access latency in cycles.
+    pub dram_latency: Cycle,
+    /// Replacement policy used at every level.
+    pub replacement: Replacement,
+}
+
+impl SystemConfig {
+    /// The paper's Table II configuration.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        let line = 64;
+        Self {
+            cores: 4,
+            line_size: line,
+            l1: CacheGeometry::from_capacity(64 << 10, 4, line, 2),
+            l2: CacheGeometry::from_capacity(256 << 10, 8, line, 18),
+            l3: CacheGeometry::from_capacity(4 << 20, 16, line, 35),
+            dram_latency: 200,
+            replacement: Replacement::Lru,
+        }
+    }
+
+    /// A scaled-down configuration for fast unit tests: 2 cores, tiny caches,
+    /// same latencies.
+    #[must_use]
+    pub fn small_test() -> Self {
+        let line = 64;
+        Self {
+            cores: 2,
+            line_size: line,
+            l1: CacheGeometry::from_capacity(2 << 10, 2, line, 2),
+            l2: CacheGeometry::from_capacity(8 << 10, 4, line, 18),
+            l3: CacheGeometry::from_capacity(64 << 10, 8, line, 35),
+            dram_latency: 200,
+            replacement: Replacement::Lru,
+        }
+    }
+
+    /// LLC capacity in bytes (what PiPoMonitor's overhead is measured
+    /// against).
+    #[must_use]
+    pub fn llc_bytes(&self) -> u64 {
+        self.l3.capacity_bytes(self.line_size) as u64
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for zero cores, a non-power-of-two line size,
+    /// or invalid per-level geometry.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.cores == 0 {
+            return Err(ConfigError::NoCores);
+        }
+        if !self.line_size.is_power_of_two() || self.line_size == 0 {
+            return Err(ConfigError::BadGeometry("line size not a power of two"));
+        }
+        self.l1.validate()?;
+        self.l2.validate()?;
+        self.l3.validate()?;
+        Ok(())
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_geometry() {
+        let cfg = SystemConfig::paper_default();
+        cfg.validate().expect("valid");
+        assert_eq!(cfg.l1.sets, 256);
+        assert_eq!(cfg.l1.ways, 4);
+        assert_eq!(cfg.l2.sets, 512);
+        assert_eq!(cfg.l2.ways, 8);
+        assert_eq!(cfg.l3.sets, 4096);
+        assert_eq!(cfg.l3.ways, 16);
+        assert_eq!(cfg.llc_bytes(), 4 << 20);
+    }
+
+    #[test]
+    fn small_test_config_is_valid() {
+        SystemConfig::small_test().validate().expect("valid");
+    }
+
+    #[test]
+    fn geometry_capacity_round_trip() {
+        let g = CacheGeometry::from_capacity(4 << 20, 16, 64, 35);
+        assert_eq!(g.capacity_bytes(64), 4 << 20);
+        assert_eq!(g.lines(), 65536);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn geometry_rejects_weird_capacity() {
+        let _ = CacheGeometry::from_capacity(3 * 1024, 4, 64, 1);
+    }
+
+    #[test]
+    fn validate_rejects_zero_cores() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.cores = 0;
+        assert_eq!(cfg.validate().unwrap_err(), ConfigError::NoCores);
+    }
+
+    #[test]
+    fn validate_rejects_bad_line_size() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.line_size = 48;
+        assert!(matches!(
+            cfg.validate().unwrap_err(),
+            ConfigError::BadGeometry(_)
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_zero_ways() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.l2.ways = 0;
+        assert!(matches!(
+            cfg.validate().unwrap_err(),
+            ConfigError::BadGeometry(_)
+        ));
+    }
+
+    #[test]
+    fn config_error_display() {
+        assert!(ConfigError::NoCores.to_string().contains("core"));
+        assert!(ConfigError::BadGeometry("zero sets")
+            .to_string()
+            .contains("zero sets"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Per-line metadata: coherence, dirtiness, and PiPoMonitor's tag bits.
+
+use crate::types::CoreId;
+
+/// A bitmask of cores holding a line in their private caches (the LLC's
+/// directory-style sharer tracking). Supports up to 64 cores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SharerSet(u64);
+
+impl SharerSet {
+    /// The empty sharer set.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self(0)
+    }
+
+    /// A set containing exactly one core.
+    #[must_use]
+    pub fn only(core: CoreId) -> Self {
+        Self(1 << core.0)
+    }
+
+    /// Adds a core.
+    pub fn insert(&mut self, core: CoreId) {
+        self.0 |= 1 << core.0;
+    }
+
+    /// Removes a core.
+    pub fn remove(&mut self, core: CoreId) {
+        self.0 &= !(1 << core.0);
+    }
+
+    /// Whether the core is a sharer.
+    #[must_use]
+    pub fn contains(&self, core: CoreId) -> bool {
+        self.0 & (1 << core.0) != 0
+    }
+
+    /// Whether no cores share the line.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Number of sharers.
+    #[must_use]
+    pub fn count(&self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether `core` is the only sharer.
+    #[must_use]
+    pub fn is_sole(&self, core: CoreId) -> bool {
+        self.0 == 1 << core.0
+    }
+
+    /// Iterates the sharer core ids.
+    pub fn iter(&self) -> impl Iterator<Item = CoreId> + '_ {
+        let bits = self.0;
+        (0..64).filter_map(move |i| {
+            if bits & (1 << i) != 0 {
+                Some(CoreId(i))
+            } else {
+                None
+            }
+        })
+    }
+}
+
+/// Metadata carried by a cached line.
+///
+/// Private caches use `dirty`; the LLC additionally maintains the sharer set
+/// (directory) and PiPoMonitor's protection bits:
+///
+/// * `protected` — the line was captured as a Ping-Pong line (tagged at fill
+///   time by the monitor's response).
+/// * `accessed` — the tagged line has been demand-touched since it entered
+///   the LLC. Only tagged-*and*-accessed lines are re-prefetched on eviction
+///   (paper §IV), which prevents endless prefetch loops.
+/// * `prefetched` — the line entered the LLC via the monitor's prefetch path
+///   (statistics only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LineMeta {
+    /// Line holds data newer than memory.
+    pub dirty: bool,
+    /// Cores caching this line privately (LLC only).
+    pub sharers: SharerSet,
+    /// PiPoMonitor Ping-Pong tag.
+    pub protected: bool,
+    /// Tagged line has been demand-accessed since entering the LLC.
+    pub accessed: bool,
+    /// Line entered the LLC via prefetch and has not been demand-touched yet.
+    pub prefetched: bool,
+}
+
+impl LineMeta {
+    /// Metadata for a line filled on a demand miss by `core`.
+    #[must_use]
+    pub fn demand_fill(core: CoreId, is_write: bool, protected: bool) -> Self {
+        Self {
+            dirty: is_write,
+            sharers: SharerSet::only(core),
+            protected,
+            // The demand access itself counts as the first access.
+            accessed: true,
+            prefetched: false,
+        }
+    }
+
+    /// Metadata for a line injected by the monitor's prefetcher: no sharers,
+    /// clean, protected, not yet accessed.
+    #[must_use]
+    pub fn prefetch_fill() -> Self {
+        Self {
+            dirty: false,
+            sharers: SharerSet::empty(),
+            protected: true,
+            accessed: false,
+            prefetched: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharer_set_insert_remove_contains() {
+        let mut s = SharerSet::empty();
+        assert!(s.is_empty());
+        s.insert(CoreId(0));
+        s.insert(CoreId(3));
+        assert!(s.contains(CoreId(0)));
+        assert!(s.contains(CoreId(3)));
+        assert!(!s.contains(CoreId(1)));
+        assert_eq!(s.count(), 2);
+        s.remove(CoreId(0));
+        assert!(!s.contains(CoreId(0)));
+        assert_eq!(s.count(), 1);
+        assert!(s.is_sole(CoreId(3)));
+    }
+
+    #[test]
+    fn sharer_set_only() {
+        let s = SharerSet::only(CoreId(2));
+        assert!(s.is_sole(CoreId(2)));
+        assert!(!s.is_sole(CoreId(1)));
+        assert_eq!(s.count(), 1);
+    }
+
+    #[test]
+    fn sharer_set_iter_yields_members() {
+        let mut s = SharerSet::empty();
+        s.insert(CoreId(1));
+        s.insert(CoreId(5));
+        let members: Vec<_> = s.iter().collect();
+        assert_eq!(members, vec![CoreId(1), CoreId(5)]);
+    }
+
+    #[test]
+    fn demand_fill_meta() {
+        let m = LineMeta::demand_fill(CoreId(1), true, false);
+        assert!(m.dirty);
+        assert!(m.sharers.is_sole(CoreId(1)));
+        assert!(!m.protected);
+        assert!(m.accessed);
+        assert!(!m.prefetched);
+    }
+
+    #[test]
+    fn prefetch_fill_meta() {
+        let m = LineMeta::prefetch_fill();
+        assert!(!m.dirty);
+        assert!(m.sharers.is_empty());
+        assert!(m.protected);
+        assert!(!m.accessed);
+        assert!(m.prefetched);
+    }
+}

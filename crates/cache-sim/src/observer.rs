@@ -1,0 +1,88 @@
+//! The memory-controller traffic hook where detection-based defenses attach.
+//!
+//! PiPoMonitor "locates inside the on-chip memory controller and observes the
+//! memory access requests from LLC without extra network traffic" (paper
+//! §IV). The [`TrafficObserver`] trait is exactly that vantage point: it sees
+//! every LLC→memory demand fetch and every LLC eviction, and may inject
+//! prefetches back into the LLC.
+
+use crate::types::{Cycle, LineAddr};
+
+/// Observes LLC↔memory traffic and optionally requests protections.
+///
+/// Implementations must be deterministic for reproducible experiments.
+pub trait TrafficObserver {
+    /// Called when the LLC misses and a demand fetch goes to memory.
+    ///
+    /// Returns `true` when the incoming line must be tagged as a protected
+    /// (Ping-Pong) line in the LLC. The default implementation never tags.
+    fn on_memory_fetch(&mut self, line: LineAddr, now: Cycle) -> bool {
+        let _ = (line, now);
+        false
+    }
+
+    /// Called when the LLC evicts a line. `protected` and `accessed` are the
+    /// line's tag bits (the `pEvict` message carries them to the monitor).
+    fn on_llc_eviction(&mut self, line: LineAddr, protected: bool, accessed: bool, now: Cycle) {
+        let _ = (line, protected, accessed, now);
+    }
+
+    /// Drains prefetches that have become due at or before `now`. The system
+    /// inserts each returned line into the LLC via the memory fetch queue.
+    fn due_prefetches(&mut self, now: Cycle) -> Vec<LineAddr> {
+        let _ = now;
+        Vec::new()
+    }
+}
+
+/// An observer that does nothing: the unprotected baseline system.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl TrafficObserver for NullObserver {}
+
+/// A recording observer for tests: remembers every event it saw.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingObserver {
+    /// Lines fetched from memory, in order.
+    pub fetches: Vec<(LineAddr, Cycle)>,
+    /// LLC evictions `(line, protected, accessed, cycle)`, in order.
+    pub evictions: Vec<(LineAddr, bool, bool, Cycle)>,
+    /// Lines to tag on fetch.
+    pub tag_lines: Vec<LineAddr>,
+}
+
+impl TrafficObserver for RecordingObserver {
+    fn on_memory_fetch(&mut self, line: LineAddr, now: Cycle) -> bool {
+        self.fetches.push((line, now));
+        self.tag_lines.contains(&line)
+    }
+
+    fn on_llc_eviction(&mut self, line: LineAddr, protected: bool, accessed: bool, now: Cycle) {
+        self.evictions.push((line, protected, accessed, now));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_observer_never_tags() {
+        let mut o = NullObserver;
+        assert!(!o.on_memory_fetch(LineAddr(1), 0));
+        o.on_llc_eviction(LineAddr(1), true, true, 5);
+        assert!(o.due_prefetches(100).is_empty());
+    }
+
+    #[test]
+    fn recording_observer_records_and_tags() {
+        let mut o = RecordingObserver::default();
+        o.tag_lines.push(LineAddr(7));
+        assert!(!o.on_memory_fetch(LineAddr(1), 10));
+        assert!(o.on_memory_fetch(LineAddr(7), 20));
+        o.on_llc_eviction(LineAddr(7), true, false, 30);
+        assert_eq!(o.fetches.len(), 2);
+        assert_eq!(o.evictions, vec![(LineAddr(7), true, false, 30)]);
+    }
+}

@@ -1,0 +1,251 @@
+//! The multi-core system: cores + hierarchy + memory-controller observer.
+
+use crate::core::{AccessSource, Core};
+use crate::hierarchy::Hierarchy;
+use crate::observer::TrafficObserver;
+use crate::stats::HierarchyStats;
+use crate::types::{CoreId, Cycle};
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Per-core completion time (local clock when the core finished its
+    /// instruction quota or exhausted its source).
+    pub completion_cycles: Vec<Cycle>,
+    /// Per-core instructions retired.
+    pub instructions: Vec<u64>,
+    /// Hierarchy statistics at the end of the run.
+    pub stats: HierarchyStats,
+    /// Total DRAM demand reads.
+    pub dram_reads: u64,
+    /// Total DRAM prefetch reads.
+    pub dram_prefetch_reads: u64,
+    /// Total DRAM writebacks.
+    pub dram_writes: u64,
+}
+
+impl SimReport {
+    /// Overall execution time: the slowest core's completion time.
+    #[must_use]
+    pub fn makespan(&self) -> Cycle {
+        self.completion_cycles.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Instructions per cycle of one core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    #[must_use]
+    pub fn ipc(&self, core: CoreId) -> f64 {
+        let cycles = self.completion_cycles[core.0];
+        if cycles == 0 {
+            0.0
+        } else {
+            self.instructions[core.0] as f64 / cycles as f64
+        }
+    }
+
+    /// Total instructions retired across all cores.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.instructions.iter().sum()
+    }
+}
+
+/// A complete simulated machine.
+///
+/// Generic over the observer so callers keep typed access to their monitor
+/// (e.g. PiPoMonitor statistics) after the run.
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::{Access, Addr, NullObserver, System, SystemConfig};
+///
+/// let mut addr = 0u64;
+/// let stream = move || {
+///     addr += 64;
+///     Some(Access::read(Addr(addr)).after(3))
+/// };
+/// let mut system = System::new(SystemConfig::small_test(), NullObserver);
+/// system.set_source(cache_sim::CoreId(0), Box::new(stream));
+/// let report = system.run(10_000);
+/// assert!(report.makespan() > 0);
+/// ```
+#[derive(Debug)]
+pub struct System<O: TrafficObserver> {
+    hierarchy: Hierarchy,
+    cores: Vec<Core>,
+    observer: O,
+}
+
+/// A source that immediately reports exhaustion (default for cores without
+/// an assigned workload).
+struct EmptySource;
+
+impl AccessSource for EmptySource {
+    fn next_access(&mut self) -> Option<crate::core::Access> {
+        None
+    }
+}
+
+impl<O: TrafficObserver> System<O> {
+    /// Builds a system with idle cores; assign workloads with
+    /// [`set_source`](Self::set_source).
+    #[must_use]
+    pub fn new(config: crate::config::SystemConfig, observer: O) -> Self {
+        let cores = (0..config.cores)
+            .map(|i| Core::new(CoreId(i), Box::new(EmptySource)))
+            .collect();
+        Self {
+            hierarchy: Hierarchy::new(config),
+            cores,
+            observer,
+        }
+    }
+
+    /// Assigns a workload to a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn set_source(&mut self, core: CoreId, source: Box<dyn AccessSource>) {
+        self.cores[core.0] = Core::new(core, source);
+    }
+
+    /// The underlying hierarchy.
+    #[must_use]
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// The memory-controller observer (e.g. the PiPoMonitor instance).
+    #[must_use]
+    pub fn observer(&self) -> &O {
+        &self.observer
+    }
+
+    /// Mutable access to the observer.
+    pub fn observer_mut(&mut self) -> &mut O {
+        &mut self.observer
+    }
+
+    /// Runs until every core has retired `instructions_per_core` instructions
+    /// (or exhausted its source). Cores interleave in local-time order, which
+    /// approximates concurrent execution on a shared hierarchy.
+    pub fn run(&mut self, instructions_per_core: u64) -> SimReport {
+        loop {
+            // Pick the live core with the smallest local clock.
+            let next = self
+                .cores
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| !c.is_exhausted() && c.retired() < instructions_per_core)
+                .min_by_key(|(_, c)| c.now())
+                .map(|(i, _)| i);
+            let Some(idx) = next else { break };
+            let now = self.cores[idx].now();
+            self.hierarchy.drain_prefetches(now, &mut self.observer);
+            self.cores[idx].step(&mut self.hierarchy, &mut self.observer);
+        }
+        // Flush any prefetches still pending at the end of the run.
+        let end = self.cores.iter().map(Core::now).max().unwrap_or(0);
+        self.hierarchy.drain_prefetches(end, &mut self.observer);
+        SimReport {
+            completion_cycles: self.cores.iter().map(Core::now).collect(),
+            instructions: self.cores.iter().map(Core::retired).collect(),
+            stats: self.hierarchy.stats().clone(),
+            dram_reads: self.hierarchy.dram().reads(),
+            dram_prefetch_reads: self.hierarchy.dram().prefetch_reads(),
+            dram_writes: self.hierarchy.dram().writes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SystemConfig;
+    use crate::core::Access;
+    use crate::observer::NullObserver;
+    use crate::types::{Addr, CoreId};
+
+    fn stride_source(start: u64, stride: u64, think: Cycle) -> Box<dyn AccessSource> {
+        let mut addr = start;
+        Box::new(move || {
+            addr += stride;
+            Some(Access::read(Addr(addr)).after(think))
+        })
+    }
+
+    #[test]
+    fn run_retires_requested_instructions() {
+        let mut sys = System::new(SystemConfig::small_test(), NullObserver);
+        sys.set_source(CoreId(0), stride_source(0, 64, 9));
+        sys.set_source(CoreId(1), stride_source(1 << 30, 64, 9));
+        let report = sys.run(1_000);
+        for &i in &report.instructions {
+            assert!(i >= 1_000, "retired {i}");
+        }
+        assert!(report.makespan() >= 1_000);
+        assert!(report.ipc(CoreId(0)) > 0.0);
+    }
+
+    #[test]
+    fn idle_core_finishes_immediately() {
+        let mut sys = System::new(SystemConfig::small_test(), NullObserver);
+        sys.set_source(CoreId(0), stride_source(0, 64, 1));
+        // Core 1 keeps the default empty source.
+        let report = sys.run(100);
+        assert_eq!(report.instructions[1], 0);
+        assert_eq!(report.completion_cycles[1], 0);
+        assert!(report.instructions[0] >= 100);
+    }
+
+    #[test]
+    fn hot_loop_is_faster_than_streaming() {
+        // A tiny working set (all L1 hits) must finish sooner than a stream
+        // of cold misses.
+        let hot = {
+            let mut i = 0u64;
+            move || {
+                i += 1;
+                Some(Access::read(Addr((i % 4) * 64)).after(1))
+            }
+        };
+        let mut sys_hot = System::new(SystemConfig::small_test(), NullObserver);
+        sys_hot.set_source(CoreId(0), Box::new(hot));
+        let hot_time = sys_hot.run(2_000).completion_cycles[0];
+
+        let mut sys_cold = System::new(SystemConfig::small_test(), NullObserver);
+        sys_cold.set_source(CoreId(0), stride_source(0, 1 << 20, 1));
+        let cold_time = sys_cold.run(2_000).completion_cycles[0];
+
+        assert!(
+            hot_time * 10 < cold_time,
+            "hot {hot_time} vs cold {cold_time}"
+        );
+    }
+
+    #[test]
+    fn deterministic_reruns() {
+        let run = || {
+            let mut sys = System::new(SystemConfig::small_test(), NullObserver);
+            sys.set_source(CoreId(0), stride_source(0, 4096, 3));
+            sys.set_source(CoreId(1), stride_source(1 << 28, 8192, 5));
+            let r = sys.run(5_000);
+            (r.completion_cycles.clone(), r.stats.llc_evictions)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn report_totals() {
+        let mut sys = System::new(SystemConfig::small_test(), NullObserver);
+        sys.set_source(CoreId(0), stride_source(0, 64, 0));
+        let r = sys.run(50);
+        assert_eq!(r.total_instructions(), r.instructions.iter().sum::<u64>());
+        assert!(r.dram_reads > 0);
+    }
+}

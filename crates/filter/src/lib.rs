@@ -1,0 +1,62 @@
+//! Classic and Auto-Cuckoo filters, modelled after the hardware structure in
+//! *PiPoMonitor: Mitigating Cross-core Cache Attacks Using the Auto-Cuckoo
+//! Filter* (DATE 2021).
+//!
+//! A Cuckoo filter stores short *fingerprints* of items in an `l × b` matrix
+//! of buckets. Each item has two candidate buckets related by the partial-key
+//! cuckoo-hashing identity `h2 = h1 ^ hash(fingerprint)`, so a stored
+//! fingerprint is enough to relocate a record to its alternate bucket.
+//!
+//! This crate provides two variants:
+//!
+//! * [`ClassicCuckooFilter`] — the software structure of Fan et al. (CoNEXT
+//!   2014): insertions may fail once the maximal number of kicks (MNK) is
+//!   exceeded, and records can be deleted manually. The manual delete is the
+//!   vulnerability PiPoMonitor's adversary exploits.
+//! * [`AutoCuckooFilter`] — the paper's hardware structure: insertion never
+//!   fails because reaching MNK triggers an *autonomic deletion* of the last
+//!   fingerprint that would need relocation, and each entry carries a
+//!   saturating `Security` re-access counter used to detect Ping-Pong
+//!   patterns.
+//!
+//! # Examples
+//!
+//! Detecting a Ping-Pong pattern (a line re-accessed from memory `secThr`
+//! times):
+//!
+//! ```
+//! use auto_cuckoo::{AutoCuckooFilter, FilterParams};
+//!
+//! # fn main() -> Result<(), auto_cuckoo::ParamsError> {
+//! let params = FilterParams::paper_default(); // l=1024, b=8, f=12, MNK=4, secThr=3
+//! let mut filter = AutoCuckooFilter::new(params)?;
+//!
+//! let line = 0xdead_beef_00;
+//! assert!(!filter.query(line).captured); // first access: inserted, Security = 0
+//! filter.query(line);                    // Security = 1
+//! filter.query(line);                    // Security = 2
+//! assert!(filter.query(line).captured);  // Security = 3 == secThr: Ping-Pong!
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod auto;
+pub mod classic;
+pub mod entry;
+pub mod hash;
+pub mod params;
+pub mod stats;
+
+pub use analysis::{
+    brute_force_expected_fills, false_positive_rate, reverse_eviction_set_size, StorageOverhead,
+};
+pub use auto::{AutoCuckooFilter, QueryOutcome};
+pub use classic::{ClassicCuckooFilter, DeleteOutcome, InsertError};
+pub use entry::Entry;
+pub use hash::{fingerprint_of, DetRng, IndexPair};
+pub use params::{FilterParams, FilterParamsBuilder, ParamsError};
+pub use stats::{CollisionCensus, FilterStats, OccupancySample};

@@ -1,0 +1,135 @@
+//! Property-based tests for the filter crate's core invariants.
+
+use auto_cuckoo::hash::{alternate_bucket, candidate_buckets};
+use auto_cuckoo::{fingerprint_of, AutoCuckooFilter, ClassicCuckooFilter, FilterParams};
+use proptest::prelude::*;
+
+fn arb_params() -> impl Strategy<Value = FilterParams> {
+    (
+        (2u32..=11),  // log2(l): 4..=2048 buckets
+        (1usize..=8), // b
+        (4u32..=16),  // f
+        (0u32..=6),   // MNK
+        (1u8..=3),    // secThr
+        any::<u64>(), // seed
+    )
+        .prop_map(|(log_l, b, f, mnk, thr, seed)| {
+            FilterParams::builder()
+                .buckets(1 << log_l)
+                .entries_per_bucket(b)
+                .fingerprint_bits(f)
+                .max_kicks(mnk)
+                .security_threshold(thr)
+                .seed(seed)
+                .build()
+                .expect("generated parameters are valid")
+        })
+}
+
+proptest! {
+    /// The partial-key identity must be an involution for every parameter set
+    /// and every item: applying the alternate-bucket map twice returns the
+    /// original bucket, and it maps the pair onto itself.
+    #[test]
+    fn xor_relocation_is_involution(params in arb_params(), item in any::<u64>()) {
+        let pair = candidate_buckets(item, &params);
+        let fp = fingerprint_of(item, &params);
+        prop_assert!(pair.primary < params.buckets());
+        prop_assert!(pair.alternate < params.buckets());
+        prop_assert_eq!(alternate_bucket(pair.primary, fp, &params), pair.alternate);
+        prop_assert_eq!(alternate_bucket(pair.alternate, fp, &params), pair.primary);
+    }
+
+    /// Auto-Cuckoo insertions never fail and never exceed capacity.
+    #[test]
+    fn auto_filter_never_overflows(params in arb_params(), items in prop::collection::vec(any::<u64>(), 1..400)) {
+        let mut filter = AutoCuckooFilter::new(params).expect("valid params");
+        for &item in &items {
+            let out = filter.query(item);
+            prop_assert!(out.inserted ^ out.merged, "exactly one of inserted/merged");
+            prop_assert!(out.security <= params.security_threshold());
+            prop_assert!(filter.len() <= params.capacity());
+        }
+    }
+
+    /// Occupancy never decreases under queries (autonomic deletion replaces a
+    /// record one-for-one).
+    #[test]
+    fn auto_filter_occupancy_monotone(params in arb_params(), items in prop::collection::vec(any::<u64>(), 1..400)) {
+        let mut filter = AutoCuckooFilter::new(params).expect("valid params");
+        let mut last = 0usize;
+        for &item in &items {
+            filter.query(item);
+            prop_assert!(filter.len() >= last);
+            last = filter.len();
+        }
+    }
+
+    /// Immediately after a query, the item is present unless the relocation
+    /// walk happened to displace and autonomically delete the item's own
+    /// record (possible when the random walk revisits its bucket). In that
+    /// case the reported deleted fingerprint must be the item's.
+    #[test]
+    fn queried_item_resident_unless_self_evicted(params in arb_params(), items in prop::collection::vec(any::<u64>(), 1..200)) {
+        let mut filter = AutoCuckooFilter::new(params).expect("valid params");
+        for &item in &items {
+            let out = filter.query(item);
+            let fp = fingerprint_of(item, &params);
+            if out.autonomic_deletion != Some(fp) {
+                prop_assert!(filter.contains(item), "item {item:#x} missing right after query");
+            }
+        }
+    }
+
+    /// Re-querying the same item `secThr` times after insertion must capture
+    /// it, regardless of configuration or interleaved state.
+    #[test]
+    fn repeated_queries_capture(params in arb_params(), item in any::<u64>()) {
+        let mut filter = AutoCuckooFilter::new(params).expect("valid params");
+        filter.query(item);
+        let mut captured = false;
+        for _ in 0..params.security_threshold() {
+            captured = filter.query(item).captured;
+        }
+        prop_assert!(captured);
+    }
+
+    /// The classic filter's delete is exact-on-fingerprint: after inserting
+    /// and deleting the same item (with no other residents), contains is false.
+    #[test]
+    fn classic_insert_delete_roundtrip(params in arb_params(), item in any::<u64>()) {
+        let mut filter = ClassicCuckooFilter::new(params).expect("valid params");
+        if filter.insert(item).is_ok() {
+            prop_assert!(filter.contains(item));
+            filter.delete(item);
+            prop_assert!(!filter.contains(item));
+            prop_assert!(filter.is_empty());
+        }
+    }
+
+    /// Filter statistics are internally consistent.
+    #[test]
+    fn stats_are_consistent(params in arb_params(), items in prop::collection::vec(any::<u64>(), 1..300)) {
+        let mut filter = AutoCuckooFilter::new(params).expect("valid params");
+        for &item in &items {
+            filter.query(item);
+        }
+        let s = filter.stats();
+        prop_assert_eq!(s.queries, items.len() as u64);
+        prop_assert_eq!(s.inserts + s.merges, s.queries);
+        prop_assert!(s.autonomic_deletions <= s.inserts);
+        prop_assert!(filter.len() as u64 <= s.inserts);
+    }
+
+    /// Determinism: the same parameter set (including seed) and item sequence
+    /// produce identical filters.
+    #[test]
+    fn behaviour_is_deterministic(params in arb_params(), items in prop::collection::vec(any::<u64>(), 1..200)) {
+        let run = || {
+            let mut filter = AutoCuckooFilter::new(params).expect("valid params");
+            let outs: Vec<_> = items.iter().map(|&i| filter.query(i)).collect();
+            (outs, filter.len())
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

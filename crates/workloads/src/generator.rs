@@ -1,0 +1,258 @@
+//! Turns a [`BenchProfile`] into a deterministic infinite access stream.
+
+use cache_sim::{Access, AccessKind, AccessSource, Addr};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::profile::BenchProfile;
+
+const LINE_SIZE: u64 = 64;
+/// Line-number stride separating per-core address regions (2^36 lines
+/// = 4 TiB of byte address space per core: regions can never overlap).
+const CORE_REGION_LINES: u64 = 1 << 36;
+/// Offset of the churn tier inside a core region, in lines.
+const CHURN_OFFSET_LINES: u64 = 1 << 24;
+/// Offset of the thrash tier inside a core region, in lines.
+const THRASH_OFFSET_LINES: u64 = 1 << 26;
+/// Offset of the stream tier inside a core region, in lines.
+const STREAM_OFFSET_LINES: u64 = 1 << 28;
+/// LLC set count of the paper's Table II configuration; thrash-tier lines
+/// are spaced by this so they collide in a single LLC set.
+const DEFAULT_LLC_SETS: u64 = 4096;
+
+/// A deterministic stochastic address stream for one benchmark on one core.
+///
+/// Each core gets a disjoint address region, so mixes share only the LLC
+/// capacity (no accidental data sharing), matching independent SPEC processes
+/// under a non-shared-memory OS model.
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::AccessSource;
+/// use pipo_workloads::{benchmark, ProfileSource};
+///
+/// let p = benchmark("gcc").expect("known");
+/// let mut a = ProfileSource::new(p, 0, 1);
+/// let mut b = ProfileSource::new(p, 0, 1);
+/// // Same profile, core and seed: identical streams.
+/// for _ in 0..100 {
+///     assert_eq!(a.next_access(), b.next_access());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ProfileSource {
+    profile: BenchProfile,
+    rng: StdRng,
+    hot_base: u64,
+    churn_base: u64,
+    thrash_base: u64,
+    stream_base: u64,
+    churn_pos: u64,
+    thrash_pos: u64,
+    stream_pos: u64,
+    llc_sets: u64,
+}
+
+impl ProfileSource {
+    /// Creates the stream for `profile` running on core `core_index` with a
+    /// deterministic `seed`, assuming the paper's 4096-set LLC for the
+    /// thrash tier.
+    #[must_use]
+    pub fn new(profile: &BenchProfile, core_index: usize, seed: u64) -> Self {
+        Self::with_llc_sets(profile, core_index, seed, DEFAULT_LLC_SETS)
+    }
+
+    /// Like [`new`](Self::new) but for an LLC with `llc_sets` sets, so the
+    /// thrash tier conflicts in one set on scaled-down configurations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is invalid or `llc_sets` is not a power of two.
+    #[must_use]
+    pub fn with_llc_sets(
+        profile: &BenchProfile,
+        core_index: usize,
+        seed: u64,
+        llc_sets: u64,
+    ) -> Self {
+        profile.assert_valid();
+        assert!(llc_sets.is_power_of_two(), "LLC set count must be a power of two");
+        let region = (core_index as u64 + 1) * CORE_REGION_LINES;
+        Self {
+            profile: *profile,
+            rng: StdRng::seed_from_u64(seed ^ (core_index as u64) << 32),
+            hot_base: region,
+            churn_base: region + CHURN_OFFSET_LINES,
+            thrash_base: region + THRASH_OFFSET_LINES,
+            stream_base: region + STREAM_OFFSET_LINES,
+            churn_pos: 0,
+            thrash_pos: 0,
+            stream_pos: 0,
+            llc_sets,
+        }
+    }
+
+    /// The profile driving this stream.
+    #[must_use]
+    pub fn profile(&self) -> &BenchProfile {
+        &self.profile
+    }
+
+    fn pick_line(&mut self) -> u64 {
+        let r: f64 = self.rng.gen();
+        let p = &self.profile;
+        if r < p.p_hot {
+            // Uniform re-reference within the private-cache-resident set.
+            self.hot_base + self.rng.gen_range(0..p.hot_lines)
+        } else if r < p.p_hot + p.p_churn {
+            // Sequential sweep over the LLC-scale set: every line is
+            // periodically evicted and re-fetched (array-sweep behaviour).
+            self.churn_pos = (self.churn_pos + 1) % p.churn_lines;
+            self.churn_base + self.churn_pos
+        } else if r < p.p_hot + p.p_churn + p.p_thrash {
+            // Round-robin over same-LLC-set lines exceeding associativity:
+            // classic LRU pathology where every access conflict-misses, so
+            // the same lines are re-fetched from memory within a short
+            // window — the benign Ping-Pong pattern.
+            self.thrash_pos = (self.thrash_pos + 1) % p.thrash_lines;
+            self.thrash_base + self.thrash_pos * self.llc_sets
+        } else {
+            // Streaming through a footprint much larger than the LLC.
+            self.stream_pos = (self.stream_pos + 1) % p.stream_lines;
+            self.stream_base + self.stream_pos
+        }
+    }
+}
+
+impl AccessSource for ProfileSource {
+    fn next_access(&mut self) -> Option<Access> {
+        let line = self.pick_line();
+        let kind = if self.rng.gen::<f64>() < self.profile.write_fraction {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        };
+        // Uniform on 0..=2*mean keeps the mean while adding jitter.
+        let think = self.rng.gen_range(0..=self.profile.think_mean * 2);
+        Some(Access {
+            addr: Addr(line * LINE_SIZE),
+            kind,
+            think_cycles: think,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::benchmark;
+
+    #[test]
+    fn stream_is_deterministic() {
+        let p = benchmark("libquantum").expect("known");
+        let mut a = ProfileSource::new(p, 2, 99);
+        let mut b = ProfileSource::new(p, 2, 99);
+        for _ in 0..1000 {
+            assert_eq!(a.next_access(), b.next_access());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = benchmark("libquantum").expect("known");
+        let mut a = ProfileSource::new(p, 0, 1);
+        let mut b = ProfileSource::new(p, 0, 2);
+        let same = (0..100)
+            .filter(|_| a.next_access() == b.next_access())
+            .count();
+        assert!(same < 100, "seeds must change the stream");
+    }
+
+    #[test]
+    fn cores_use_disjoint_regions() {
+        let p = benchmark("mcf").expect("known");
+        let mut a = ProfileSource::new(p, 0, 1);
+        let mut b = ProfileSource::new(p, 1, 1);
+        let max_a = (0..1000)
+            .map(|_| a.next_access().expect("infinite").addr.0)
+            .max()
+            .expect("nonempty");
+        let min_b = (0..1000)
+            .map(|_| b.next_access().expect("infinite").addr.0)
+            .min()
+            .expect("nonempty");
+        assert!(max_a < min_b, "core regions overlap: {max_a:#x} vs {min_b:#x}");
+    }
+
+    #[test]
+    fn tier_frequencies_match_probabilities() {
+        let p = benchmark("libquantum").expect("known");
+        let mut src = ProfileSource::new(p, 0, 7);
+        let hot_end = src.hot_base + p.hot_lines;
+        let churn_end = src.churn_base + p.churn_lines;
+        let mut hot = 0u32;
+        let mut churn = 0u32;
+        let n = 100_000;
+        for _ in 0..n {
+            let line = src.next_access().expect("infinite").addr.0 / LINE_SIZE;
+            if (src.hot_base..hot_end).contains(&line) {
+                hot += 1;
+            } else if (src.churn_base..churn_end).contains(&line) {
+                churn += 1;
+            }
+        }
+        let hot_frac = f64::from(hot) / f64::from(n);
+        let churn_frac = f64::from(churn) / f64::from(n);
+        assert!((hot_frac - p.p_hot).abs() < 0.01, "hot {hot_frac}");
+        assert!((churn_frac - p.p_churn).abs() < 0.01, "churn {churn_frac}");
+    }
+
+    #[test]
+    fn write_fraction_is_respected() {
+        let p = benchmark("hmmer").expect("known"); // 40% writes
+        let mut src = ProfileSource::new(p, 0, 11);
+        let n = 50_000;
+        let writes = (0..n)
+            .filter(|_| src.next_access().expect("infinite").kind.is_write())
+            .count();
+        let frac = writes as f64 / f64::from(n);
+        assert!((frac - 0.40).abs() < 0.02, "write fraction {frac}");
+    }
+
+    #[test]
+    fn think_cycles_average_near_mean() {
+        let p = benchmark("gcc").expect("known");
+        let mut src = ProfileSource::new(p, 0, 13);
+        let n = 50_000u64;
+        let total: u64 = (0..n)
+            .map(|_| src.next_access().expect("infinite").think_cycles)
+            .sum();
+        let mean = total as f64 / n as f64;
+        assert!(
+            (mean - p.think_mean as f64).abs() < 0.2,
+            "mean think {mean} vs {}",
+            p.think_mean
+        );
+    }
+
+    #[test]
+    fn churn_lines_are_revisited() {
+        let p = benchmark("libquantum").expect("known");
+        let mut src = ProfileSource::new(p, 0, 5);
+        let churn_range = src.churn_base..src.churn_base + p.churn_lines;
+        let mut first_seen = std::collections::HashMap::new();
+        let mut revisits = 0u32;
+        // Enough accesses for the churn sweep to wrap: churn_lines / p_churn.
+        let needed = (p.churn_lines as f64 / p.p_churn * 1.2) as u64;
+        for i in 0..needed {
+            let line = src.next_access().expect("infinite").addr.0 / LINE_SIZE;
+            if churn_range.contains(&line) {
+                if first_seen.insert(line, i).is_some() {
+                    revisits += 1;
+                }
+            }
+        }
+        assert!(revisits > 0, "churn tier must revisit lines");
+    }
+}

@@ -1,0 +1,90 @@
+//! The paper's 10 evaluation workloads (Table III): each mix runs four
+//! benchmarks concurrently, one per core.
+
+use crate::profile::BenchProfile;
+use crate::spec::benchmark;
+
+/// One four-benchmark workload mix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mix {
+    /// Mix name, `"mix1"`..`"mix10"`.
+    pub name: &'static str,
+    /// The four component benchmarks, in core order.
+    pub benchmarks: [&'static BenchProfile; 4],
+}
+
+fn mix(name: &'static str, names: [&'static str; 4]) -> Mix {
+    Mix {
+        name,
+        benchmarks: names.map(|n| benchmark(n).expect("table III benchmark is modelled")),
+    }
+}
+
+/// All 10 mixes of Table III, in order.
+///
+/// # Examples
+///
+/// ```
+/// let mixes = pipo_workloads::all_mixes();
+/// assert_eq!(mixes.len(), 10);
+/// assert_eq!(mixes[6].name, "mix7");
+/// assert_eq!(mixes[6].benchmarks[1].name, "milc");
+/// ```
+#[must_use]
+pub fn all_mixes() -> Vec<Mix> {
+    vec![
+        mix("mix1", ["libquantum", "mcf", "sphinx3", "gobmk"]),
+        mix("mix2", ["sphinx3", "libquantum", "bzip2", "sjeng"]),
+        mix("mix3", ["gobmk", "bzip2", "hmmer", "sjeng"]),
+        mix("mix4", ["libquantum", "sjeng", "calculix", "h264ref"]),
+        mix("mix5", ["astar", "libquantum", "mcf", "calculix"]),
+        mix("mix6", ["astar", "mcf", "gromacs", "h264ref"]),
+        mix("mix7", ["gcc", "milc", "gobmk", "calculix"]),
+        mix("mix8", ["gcc", "mcf", "gromacs", "astar"]),
+        mix("mix9", ["h264ref", "astar", "sjeng", "gcc"]),
+        mix("mix10", ["gromacs", "gobmk", "gcc", "hmmer"]),
+    ]
+}
+
+/// Looks a mix up by name.
+#[must_use]
+pub fn mix_by_name(name: &str) -> Option<Mix> {
+    all_mixes().into_iter().find(|m| m.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ten_mixes_matching_table_iii() {
+        let mixes = all_mixes();
+        assert_eq!(mixes.len(), 10);
+        let names: Vec<_> = mixes[0].benchmarks.iter().map(|b| b.name).collect();
+        assert_eq!(names, vec!["libquantum", "mcf", "sphinx3", "gobmk"]);
+        let names: Vec<_> = mixes[9].benchmarks.iter().map(|b| b.name).collect();
+        assert_eq!(names, vec!["gromacs", "gobmk", "gcc", "hmmer"]);
+    }
+
+    #[test]
+    fn mix_names_are_sequential() {
+        for (i, m) in all_mixes().iter().enumerate() {
+            assert_eq!(m.name, format!("mix{}", i + 1));
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(mix_by_name("mix3").is_some());
+        assert!(mix_by_name("mix11").is_none());
+    }
+
+    #[test]
+    fn every_mix_has_four_valid_components() {
+        for m in all_mixes() {
+            for b in m.benchmarks {
+                b.assert_valid();
+            }
+        }
+    }
+}

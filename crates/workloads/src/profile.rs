@@ -1,0 +1,136 @@
+//! The three-tier stochastic benchmark model.
+
+/// Stochastic memory profile of one benchmark.
+///
+/// Probabilities select the tier of each access; the remaining probability
+/// mass (`1 - p_hot - p_churn`) streams through the large footprint. The
+/// per-access compute gap (`think_mean` non-memory instructions) sets memory
+/// intensity.
+///
+/// # Examples
+///
+/// ```
+/// use pipo_workloads::BenchProfile;
+///
+/// let p = pipo_workloads::benchmark("mcf").expect("known benchmark");
+/// assert!(p.p_hot + p.p_churn <= 1.0);
+/// assert!(p.stream_lines > p.churn_lines);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchProfile {
+    /// SPEC-style benchmark name (e.g. `"libquantum"`).
+    pub name: &'static str,
+    /// Lines in the private-cache-resident hot set.
+    pub hot_lines: u64,
+    /// Lines in the LLC-scale churn set (sequentially cycled, so they are
+    /// periodically evicted and re-fetched — benign Ping-Pong-ish traffic).
+    pub churn_lines: u64,
+    /// Lines in the conflict-thrash set: slightly more lines than one LLC
+    /// set's associativity, cycled round-robin so every access conflict-
+    /// misses and the same lines are re-fetched from memory within a short
+    /// window. This is the benign traffic that PiPoMonitor's filter captures
+    /// as (false-positive) Ping-Pong lines.
+    pub thrash_lines: u64,
+    /// Lines in the streaming footprint (≫ LLC).
+    pub stream_lines: u64,
+    /// Probability an access hits the hot set.
+    pub p_hot: f64,
+    /// Probability an access walks the churn set.
+    pub p_churn: f64,
+    /// Probability an access walks the conflict-thrash set.
+    pub p_thrash: f64,
+    /// Fraction of accesses that are stores.
+    pub write_fraction: f64,
+    /// Mean non-memory instructions between accesses (geometric-ish).
+    pub think_mean: u64,
+}
+
+impl BenchProfile {
+    /// Validates internal consistency (used by tests; profiles are
+    /// compile-time constants).
+    ///
+    /// # Panics
+    ///
+    /// Panics when probabilities are out of range or tiers are empty.
+    pub fn assert_valid(&self) {
+        assert!(!self.name.is_empty(), "profile must be named");
+        assert!(self.hot_lines > 0, "{}: empty hot set", self.name);
+        assert!(self.churn_lines > 0, "{}: empty churn set", self.name);
+        assert!(self.thrash_lines > 0, "{}: empty thrash set", self.name);
+        assert!(self.stream_lines > 0, "{}: empty stream set", self.name);
+        assert!(
+            (0.0..=1.0).contains(&self.p_hot)
+                && (0.0..=1.0).contains(&self.p_churn)
+                && (0.0..=1.0).contains(&self.p_thrash)
+                && self.p_hot + self.p_churn + self.p_thrash <= 1.0,
+            "{}: bad tier probabilities",
+            self.name
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.write_fraction),
+            "{}: bad write fraction",
+            self.name
+        );
+    }
+
+    /// Rough expected misses per kilo-instruction implied by the profile,
+    /// assuming churn, thrash and stream accesses usually miss the LLC. Used
+    /// to sanity-check calibration against published SPEC characterisations.
+    #[must_use]
+    pub fn approx_mpki(&self) -> f64 {
+        let p_miss = 1.0 - self.p_hot; // churn + thrash + stream mostly miss
+        let instructions_per_access = self.think_mean as f64 + 1.0;
+        1000.0 * p_miss / instructions_per_access
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> BenchProfile {
+        BenchProfile {
+            name: "test",
+            hot_lines: 128,
+            churn_lines: 4096,
+            thrash_lines: 24,
+            stream_lines: 1 << 20,
+            p_hot: 0.9,
+            p_churn: 0.05,
+            p_thrash: 0.01,
+            write_fraction: 0.3,
+            think_mean: 3,
+        }
+    }
+
+    #[test]
+    fn valid_profile_passes() {
+        profile().assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "bad tier probabilities")]
+    fn overfull_probabilities_panic() {
+        let mut p = profile();
+        p.p_hot = 0.8;
+        p.p_churn = 0.3;
+        p.assert_valid();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty hot set")]
+    fn empty_hot_set_panics() {
+        let mut p = profile();
+        p.hot_lines = 0;
+        p.assert_valid();
+    }
+
+    #[test]
+    fn approx_mpki_scales_with_miss_probability() {
+        let mut light = profile();
+        light.p_hot = 0.999;
+        let mut heavy = profile();
+        heavy.p_hot = 0.8;
+        assert!(heavy.approx_mpki() > light.approx_mpki() * 10.0);
+    }
+}

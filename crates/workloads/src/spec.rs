@@ -1,0 +1,248 @@
+//! Calibrated profiles for the 13 SPEC CPU2006 benchmarks used by the
+//! paper's mixes (Table III).
+//!
+//! Tier probabilities are chosen so each profile's implied misses per
+//! kilo-instruction lands near published SPEC CPU2006 LLC characterisations
+//! (e.g. libquantum/mcf/milc memory-bound, sjeng/calculix compute-bound).
+//! Churn-set weights reflect each benchmark's *re-reference* behaviour:
+//! libquantum and milc sweep the same large arrays repeatedly (high churn),
+//! mcf chases pointers across a huge sparse footprint (mostly stream).
+
+use crate::profile::BenchProfile;
+
+/// All benchmark profiles, in a fixed order.
+pub const BENCHMARKS: &[BenchProfile] = &[
+    BenchProfile {
+        name: "libquantum",
+        hot_lines: 256,
+        churn_lines: 32_768,
+        thrash_lines: 17,
+        stream_lines: 1 << 19,
+        p_hot: 0.90,
+        p_churn: 0.07,
+        p_thrash: 0.0018,
+        write_fraction: 0.25,
+        think_mean: 3,
+    },
+    BenchProfile {
+        name: "mcf",
+        hot_lines: 256,
+        churn_lines: 16_384,
+        thrash_lines: 17,
+        stream_lines: 1 << 21,
+        p_hot: 0.86,
+        p_churn: 0.02,
+        p_thrash: 0.0006,
+        write_fraction: 0.30,
+        think_mean: 3,
+    },
+    BenchProfile {
+        name: "sphinx3",
+        hot_lines: 512,
+        churn_lines: 16_384,
+        thrash_lines: 17,
+        stream_lines: 1 << 18,
+        p_hot: 0.952,
+        p_churn: 0.02,
+        p_thrash: 0.0015,
+        write_fraction: 0.15,
+        think_mean: 3,
+    },
+    BenchProfile {
+        name: "gobmk",
+        hot_lines: 1024,
+        churn_lines: 4096,
+        thrash_lines: 17,
+        stream_lines: 1 << 16,
+        p_hot: 0.996,
+        p_churn: 0.0015,
+        p_thrash: 0.0002,
+        write_fraction: 0.35,
+        think_mean: 3,
+    },
+    BenchProfile {
+        name: "bzip2",
+        hot_lines: 512,
+        churn_lines: 8192,
+        thrash_lines: 17,
+        stream_lines: 1 << 17,
+        p_hot: 0.988,
+        p_churn: 0.004,
+        p_thrash: 0.0002,
+        write_fraction: 0.35,
+        think_mean: 3,
+    },
+    BenchProfile {
+        name: "sjeng",
+        hot_lines: 1024,
+        churn_lines: 4096,
+        thrash_lines: 17,
+        stream_lines: 1 << 16,
+        p_hot: 0.9984,
+        p_churn: 0.0005,
+        p_thrash: 0.0001,
+        write_fraction: 0.30,
+        think_mean: 3,
+    },
+    BenchProfile {
+        name: "hmmer",
+        hot_lines: 512,
+        churn_lines: 4096,
+        thrash_lines: 17,
+        stream_lines: 1 << 16,
+        p_hot: 0.9952,
+        p_churn: 0.0015,
+        p_thrash: 0.0002,
+        write_fraction: 0.40,
+        think_mean: 3,
+    },
+    BenchProfile {
+        name: "calculix",
+        hot_lines: 1024,
+        churn_lines: 4096,
+        thrash_lines: 17,
+        stream_lines: 1 << 16,
+        p_hot: 0.9992,
+        p_churn: 0.0003,
+        p_thrash: 0.0001,
+        write_fraction: 0.25,
+        think_mean: 3,
+    },
+    BenchProfile {
+        name: "h264ref",
+        hot_lines: 1024,
+        churn_lines: 8192,
+        thrash_lines: 17,
+        stream_lines: 1 << 16,
+        p_hot: 0.996,
+        p_churn: 0.0015,
+        p_thrash: 0.0002,
+        write_fraction: 0.35,
+        think_mean: 3,
+    },
+    BenchProfile {
+        name: "astar",
+        hot_lines: 512,
+        churn_lines: 8192,
+        thrash_lines: 17,
+        stream_lines: 1 << 19,
+        p_hot: 0.964,
+        p_churn: 0.007,
+        p_thrash: 0.0004,
+        write_fraction: 0.30,
+        think_mean: 3,
+    },
+    BenchProfile {
+        name: "gromacs",
+        hot_lines: 1024,
+        churn_lines: 4096,
+        thrash_lines: 17,
+        stream_lines: 1 << 16,
+        p_hot: 0.9972,
+        p_churn: 0.001,
+        p_thrash: 0.0002,
+        write_fraction: 0.30,
+        think_mean: 3,
+    },
+    BenchProfile {
+        name: "gcc",
+        hot_lines: 512,
+        churn_lines: 16_384,
+        thrash_lines: 17,
+        stream_lines: 1 << 18,
+        p_hot: 0.976,
+        p_churn: 0.012,
+        p_thrash: 0.0006,
+        write_fraction: 0.35,
+        think_mean: 3,
+    },
+    BenchProfile {
+        name: "milc",
+        hot_lines: 256,
+        churn_lines: 32_768,
+        thrash_lines: 17,
+        stream_lines: 1 << 19,
+        p_hot: 0.92,
+        p_churn: 0.048,
+        p_thrash: 0.0023,
+        write_fraction: 0.30,
+        think_mean: 3,
+    },
+];
+
+/// Looks a benchmark profile up by name.
+///
+/// # Examples
+///
+/// ```
+/// let p = pipo_workloads::benchmark("libquantum").expect("known");
+/// assert_eq!(p.name, "libquantum");
+/// assert!(pipo_workloads::benchmark("nginx").is_none());
+/// ```
+#[must_use]
+pub fn benchmark(name: &str) -> Option<&'static BenchProfile> {
+    BENCHMARKS.iter().find(|b| b.name == name)
+}
+
+/// Names of all modelled benchmarks.
+#[must_use]
+pub fn benchmark_names() -> Vec<&'static str> {
+    BENCHMARKS.iter().map(|b| b.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_are_valid() {
+        for b in BENCHMARKS {
+            b.assert_valid();
+        }
+    }
+
+    #[test]
+    fn thirteen_benchmarks_modelled() {
+        assert_eq!(BENCHMARKS.len(), 13);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names = benchmark_names();
+        let mut dedup = names.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(benchmark("mcf").is_some());
+        assert!(benchmark("sphinx3").is_some());
+        assert!(benchmark("unknown").is_none());
+    }
+
+    #[test]
+    fn memory_bound_benchmarks_have_higher_mpki() {
+        let mpki = |n: &str| benchmark(n).expect("known").approx_mpki();
+        // The usual SPEC ordering must be preserved.
+        assert!(mpki("mcf") > mpki("sphinx3"));
+        assert!(mpki("libquantum") > mpki("gcc"));
+        assert!(mpki("milc") > mpki("astar"));
+        assert!(mpki("gcc") > mpki("gobmk"));
+        assert!(mpki("gobmk") > mpki("calculix"));
+        assert!(mpki("sjeng") < 1.0);
+        assert!(mpki("mcf") > 20.0);
+    }
+
+    #[test]
+    fn churn_heavy_benchmarks_for_false_positive_shape() {
+        // mix1/mix7 components (libquantum, milc, gcc) must churn more than
+        // mix3/mix6 components (bzip2, hmmer, gromacs) so the Fig. 8(b)
+        // ordering can emerge.
+        let churn_rate = |n: &str| benchmark(n).expect("known").p_churn;
+        assert!(churn_rate("libquantum") > churn_rate("bzip2") * 5.0);
+        assert!(churn_rate("milc") > churn_rate("hmmer") * 5.0);
+        assert!(churn_rate("gcc") > churn_rate("gromacs") * 5.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Access-trace recording and replay.
+//!
+//! Any [`AccessSource`] can be captured into a [`Trace`] and replayed later
+//! (e.g. to run the identical address stream against baseline and defended
+//! systems, or to ship a regression trace with a bug report). Traces
+//! serialise to a simple line-oriented text format:
+//!
+//! ```text
+//! # pipo-trace v1
+//! R 0x1040 3
+//! W 0x20c0 0
+//! ```
+//!
+//! (`kind address think_cycles`, one access per line, `#` comments allowed.)
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use cache_sim::{Access, AccessKind, AccessSource, Addr, Cycle};
+
+/// Error parsing a serialised trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What was wrong with it.
+    pub reason: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl Error for ParseTraceError {}
+
+/// A recorded access trace.
+///
+/// # Examples
+///
+/// ```
+/// use cache_sim::AccessSource;
+/// use pipo_workloads::{StrideSource, Trace};
+///
+/// let trace = Trace::record(&mut StrideSource::new(0, 64, 2), 100);
+/// assert_eq!(trace.len(), 100);
+/// let text = trace.to_text();
+/// let restored: Trace = text.parse().expect("round trip");
+/// assert_eq!(restored, trace);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    accesses: Vec<Access>,
+}
+
+impl Trace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records up to `limit` accesses from a source.
+    #[must_use]
+    pub fn record<S: AccessSource + ?Sized>(source: &mut S, limit: usize) -> Self {
+        let mut accesses = Vec::with_capacity(limit);
+        for _ in 0..limit {
+            match source.next_access() {
+                Some(a) => accesses.push(a),
+                None => break,
+            }
+        }
+        Self { accesses }
+    }
+
+    /// Number of recorded accesses.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// Whether the trace is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// The recorded accesses.
+    #[must_use]
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// Appends an access.
+    pub fn push(&mut self, access: Access) {
+        self.accesses.push(access);
+    }
+
+    /// A replaying [`AccessSource`]; ends after the last recorded access.
+    #[must_use]
+    pub fn replay(&self) -> TraceReplay {
+        TraceReplay {
+            accesses: self.accesses.clone(),
+            pos: 0,
+        }
+    }
+
+    /// Serialises to the line-oriented text format.
+    #[must_use]
+    pub fn to_text(&self) -> String {
+        let mut out = String::from("# pipo-trace v1\n");
+        for a in &self.accesses {
+            let kind = if a.kind.is_write() { 'W' } else { 'R' };
+            out.push_str(&format!("{kind} {:#x} {}\n", a.addr.0, a.think_cycles));
+        }
+        out
+    }
+}
+
+impl FromIterator<Access> for Trace {
+    fn from_iter<I: IntoIterator<Item = Access>>(iter: I) -> Self {
+        Self {
+            accesses: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Access> for Trace {
+    fn extend<I: IntoIterator<Item = Access>>(&mut self, iter: I) {
+        self.accesses.extend(iter);
+    }
+}
+
+impl FromStr for Trace {
+    type Err = ParseTraceError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut accesses = Vec::new();
+        for (idx, raw) in s.lines().enumerate() {
+            let line = idx + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut parts = trimmed.split_whitespace();
+            let err = |reason: &str| ParseTraceError {
+                line,
+                reason: reason.to_string(),
+            };
+            let kind = match parts.next() {
+                Some("R") => AccessKind::Read,
+                Some("W") => AccessKind::Write,
+                Some(other) => return Err(err(&format!("unknown access kind {other:?}"))),
+                None => return Err(err("missing access kind")),
+            };
+            let addr_str = parts.next().ok_or_else(|| err("missing address"))?;
+            let addr = parse_u64(addr_str).ok_or_else(|| err("unparseable address"))?;
+            let think_str = parts.next().ok_or_else(|| err("missing think cycles"))?;
+            let think: Cycle = think_str
+                .parse()
+                .map_err(|_| err("unparseable think cycles"))?;
+            if parts.next().is_some() {
+                return Err(err("trailing fields"));
+            }
+            accesses.push(Access {
+                addr: Addr(addr),
+                kind,
+                think_cycles: think,
+            });
+        }
+        Ok(Self { accesses })
+    }
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// Iterator-style replay of a [`Trace`].
+#[derive(Debug, Clone)]
+pub struct TraceReplay {
+    accesses: Vec<Access>,
+    pos: usize,
+}
+
+impl AccessSource for TraceReplay {
+    fn next_access(&mut self) -> Option<Access> {
+        let a = self.accesses.get(self.pos).copied();
+        self.pos += 1;
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::StrideSource;
+
+    #[test]
+    fn record_and_replay_match() {
+        let mut src = StrideSource::new(0, 64, 5);
+        let trace = Trace::record(&mut src, 10);
+        assert_eq!(trace.len(), 10);
+        let mut replay = trace.replay();
+        let mut fresh = StrideSource::new(0, 64, 5);
+        for _ in 0..10 {
+            assert_eq!(replay.next_access(), fresh.next_access());
+        }
+        assert!(replay.next_access().is_none());
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let mut src = StrideSource::new(0x1000, 128, 3);
+        let trace = Trace::record(&mut src, 25);
+        let text = trace.to_text();
+        let parsed: Trace = text.parse().expect("round trip");
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn parse_accepts_comments_and_blank_lines() {
+        let text = "# header\n\nR 0x40 1\n# middle\nW 128 0\n";
+        let trace: Trace = text.parse().expect("valid");
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.accesses()[0].addr, Addr(0x40));
+        assert!(!trace.accesses()[0].kind.is_write());
+        assert_eq!(trace.accesses()[1].addr, Addr(128));
+        assert!(trace.accesses()[1].kind.is_write());
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines() {
+        let bad_kind: Result<Trace, _> = "X 0x40 1".parse();
+        assert_eq!(bad_kind.unwrap_err().line, 1);
+        let bad_addr: Result<Trace, _> = "R zz 1".parse();
+        assert!(bad_addr.unwrap_err().reason.contains("address"));
+        let trailing: Result<Trace, _> = "R 0x40 1 extra".parse();
+        assert!(trailing.unwrap_err().reason.contains("trailing"));
+        let missing: Result<Trace, _> = "R".parse();
+        assert!(missing.unwrap_err().reason.contains("address"));
+    }
+
+    #[test]
+    fn record_stops_at_source_end() {
+        let mut n = 0;
+        let mut src = move || {
+            n += 1;
+            if n <= 3 {
+                Some(Access::read(Addr(n * 64)))
+            } else {
+                None
+            }
+        };
+        let trace = Trace::record(&mut src, 10);
+        assert_eq!(trace.len(), 3);
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut trace: Trace = (1..=3u64).map(|i| Access::read(Addr(i * 64))).collect();
+        assert_eq!(trace.len(), 3);
+        trace.extend([Access::write(Addr(0x999))]);
+        assert_eq!(trace.len(), 4);
+        assert!(trace.accesses()[3].kind.is_write());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = ParseTraceError {
+            line: 7,
+            reason: "bad".into(),
+        };
+        assert_eq!(e.to_string(), "trace line 7: bad");
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: build a monitored quad-core system, run a workload mix, and
+//! read out the monitor's view.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cache_sim::{CoreId, System, SystemConfig};
+use pipo_workloads::{all_mixes, ProfileSource};
+use pipomonitor::{MonitorConfig, PiPoMonitor};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The paper's system: quad-core, inclusive L1/L2/L3 (Table II), with
+    //    PiPoMonitor in the memory controller.
+    let monitor = PiPoMonitor::new(MonitorConfig::paper_default())?;
+    let mut system = System::new(SystemConfig::paper_default(), monitor);
+
+    // 2. Table III's mix1: libquantum, mcf, sphinx3, gobmk — one per core.
+    let mix = &all_mixes()[0];
+    for (core, bench) in mix.benchmarks.iter().enumerate() {
+        system.set_source(CoreId(core), Box::new(ProfileSource::new(bench, core, 42)));
+    }
+
+    // 3. Run half a million instructions per core.
+    let report = system.run(500_000);
+
+    println!("ran {} on {} cores", mix.name, report.completion_cycles.len());
+    println!("makespan: {} cycles", report.makespan());
+    for core in 0..4 {
+        let id = CoreId(core);
+        println!(
+            "  {} ({:<10}): {:>8} instructions, IPC {:.3}",
+            id,
+            mix.benchmarks[core].name,
+            report.instructions[core],
+            report.ipc(id)
+        );
+    }
+
+    // 4. What the monitor saw.
+    let stats = system.observer().stats();
+    println!("\nPiPoMonitor:");
+    println!("  memory fetches observed : {}", stats.fetches_observed);
+    println!("  Ping-Pong captures      : {}", stats.captures);
+    println!("  prefetches scheduled    : {}", stats.prefetches_scheduled);
+    println!(
+        "  false positives / Mi    : {:.1}",
+        system
+            .observer()
+            .false_positives_per_mi(report.total_instructions())
+    );
+    println!(
+        "  filter occupancy        : {:.1}%",
+        system.observer().filter().occupancy() * 100.0
+    );
+    Ok(())
+}

@@ -1,0 +1,119 @@
+//! Cross-crate property tests: the inclusive hierarchy keeps its invariants
+//! under arbitrary access interleavings, with and without PiPoMonitor.
+
+use cache_sim::{AccessKind, Addr, CoreId, Hierarchy, NullObserver, SystemConfig};
+use pipomonitor::{MonitorConfig, PiPoMonitor};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Step {
+    core: usize,
+    addr: u64,
+    write: bool,
+}
+
+fn arb_steps(max_len: usize) -> impl Strategy<Value = Vec<Step>> {
+    prop::collection::vec(
+        (0usize..2, 0u64..(1 << 22), any::<bool>()).prop_map(|(core, addr, write)| Step {
+            core,
+            // Confine to a few thousand lines so conflicts actually happen.
+            addr: (addr / 64) % 4096 * 64,
+            write,
+        }),
+        1..max_len,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Inclusion (L1 ⊆ L2 ⊆ L3) and directory consistency hold after every
+    /// access on the unprotected system.
+    #[test]
+    fn inclusion_holds_without_monitor(steps in arb_steps(300)) {
+        let mut h = Hierarchy::new(SystemConfig::small_test());
+        let mut obs = NullObserver;
+        for (t, s) in steps.iter().enumerate() {
+            let kind = if s.write { AccessKind::Write } else { AccessKind::Read };
+            h.access(CoreId(s.core), Addr(s.addr), kind, t as u64 * 10, &mut obs);
+            if let Some(violation) = h.check_inclusion() {
+                prop_assert!(false, "step {t}: {violation}");
+            }
+        }
+    }
+
+    /// The same invariants hold with PiPoMonitor injecting prefetches.
+    #[test]
+    fn inclusion_holds_with_monitor(steps in arb_steps(300)) {
+        let mut h = Hierarchy::new(SystemConfig::small_test());
+        let mut monitor = PiPoMonitor::new(MonitorConfig::paper_default()).expect("valid");
+        for (t, s) in steps.iter().enumerate() {
+            let now = t as u64 * 10;
+            h.drain_prefetches(now, &mut monitor);
+            let kind = if s.write { AccessKind::Write } else { AccessKind::Read };
+            h.access(CoreId(s.core), Addr(s.addr), kind, now, &mut monitor);
+            if let Some(violation) = h.check_inclusion() {
+                prop_assert!(false, "step {t}: {violation}");
+            }
+        }
+    }
+
+    /// Access latency is always one of the four architectural costs (plus an
+    /// optional coherence upgrade round trip).
+    #[test]
+    fn latencies_come_from_the_table(steps in arb_steps(200)) {
+        let mut h = Hierarchy::new(SystemConfig::small_test());
+        let mut obs = NullObserver;
+        let l3 = 35u64;
+        let valid = [2, 18, 35, 235, 2 + l3, 18 + l3, 35 + l3];
+        for (t, s) in steps.iter().enumerate() {
+            let kind = if s.write { AccessKind::Write } else { AccessKind::Read };
+            let r = h.access(CoreId(s.core), Addr(s.addr), kind, t as u64 * 10, &mut obs);
+            prop_assert!(
+                valid.contains(&r.latency),
+                "unexpected latency {} at step {t}",
+                r.latency
+            );
+        }
+    }
+
+    /// Replaying the same step sequence yields identical statistics
+    /// (full-system determinism).
+    #[test]
+    fn system_is_deterministic(steps in arb_steps(200)) {
+        let run = || {
+            let mut h = Hierarchy::new(SystemConfig::small_test());
+            let mut monitor = PiPoMonitor::new(MonitorConfig::paper_default()).expect("valid");
+            let mut latencies = Vec::new();
+            for (t, s) in steps.iter().enumerate() {
+                let now = t as u64 * 10;
+                h.drain_prefetches(now, &mut monitor);
+                let kind = if s.write { AccessKind::Write } else { AccessKind::Read };
+                latencies.push(
+                    h.access(CoreId(s.core), Addr(s.addr), kind, now, &mut monitor).latency,
+                );
+            }
+            (latencies, h.stats().clone(), *monitor.stats())
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Total hits+misses at L1 equals the number of accesses per core, and
+    /// memory fetches equal DRAM demand reads.
+    #[test]
+    fn stats_accounting_balances(steps in arb_steps(300)) {
+        let mut h = Hierarchy::new(SystemConfig::small_test());
+        let mut obs = NullObserver;
+        let mut per_core = [0u64; 2];
+        for (t, s) in steps.iter().enumerate() {
+            let kind = if s.write { AccessKind::Write } else { AccessKind::Read };
+            h.access(CoreId(s.core), Addr(s.addr), kind, t as u64, &mut obs);
+            per_core[s.core] += 1;
+        }
+        for core in 0..2 {
+            let stats = h.stats().core(CoreId(core));
+            prop_assert_eq!(stats.l1.accesses(), per_core[core]);
+        }
+        prop_assert_eq!(h.stats().total_memory_fetches(), h.dram().reads());
+    }
+}

@@ -1,0 +1,93 @@
+//! Validates that the simulated workloads exhibit the memory behaviour the
+//! calibration targets: the SPEC MPKI ordering, write fractions, and stable
+//! statistics under re-simulation.
+
+use cache_sim::{CoreId, NullObserver, System, SystemConfig};
+use pipo_workloads::{benchmark, ProfileSource};
+
+/// Measured LLC misses per kilo-instruction of one benchmark running alone.
+fn measured_mpki(name: &str, instructions: u64) -> f64 {
+    let profile = benchmark(name).expect("known benchmark");
+    let mut system = System::new(SystemConfig::paper_default(), NullObserver);
+    system.set_source(CoreId(0), Box::new(ProfileSource::new(profile, 0, 7)));
+    let report = system.run(instructions);
+    let fetches = report.stats.core(CoreId(0)).memory_fetches;
+    fetches as f64 * 1000.0 / report.instructions[0] as f64
+}
+
+#[test]
+fn spec_mpki_ordering_survives_simulation() {
+    let n = 300_000;
+    let mcf = measured_mpki("mcf", n);
+    let libquantum = measured_mpki("libquantum", n);
+    let milc = measured_mpki("milc", n);
+    let sphinx3 = measured_mpki("sphinx3", n);
+    let gcc = measured_mpki("gcc", n);
+    let gobmk = measured_mpki("gobmk", n);
+    let sjeng = measured_mpki("sjeng", n);
+    let calculix = measured_mpki("calculix", n);
+
+    // Memory-bound > mid > compute-bound, as in published characterisations.
+    assert!(mcf > sphinx3, "mcf {mcf} vs sphinx3 {sphinx3}");
+    assert!(libquantum > gcc, "libquantum {libquantum} vs gcc {gcc}");
+    assert!(milc > gcc, "milc {milc} vs gcc {gcc}");
+    assert!(gcc > gobmk, "gcc {gcc} vs gobmk {gobmk}");
+    assert!(gobmk > calculix, "gobmk {gobmk} vs calculix {calculix}");
+    // At this run length cold-start misses add ~3 MPKI to everything; the
+    // compute-bound benchmarks stay far below the memory-bound ones.
+    assert!(sjeng < 5.0, "sjeng must be compute-bound: {sjeng}");
+    assert!(mcf > 15.0, "mcf must be memory-bound: {mcf}");
+    assert!(mcf > sjeng * 4.0, "mcf {mcf} vs sjeng {sjeng}");
+}
+
+#[test]
+fn mpki_is_reproducible() {
+    let a = measured_mpki("gcc", 150_000);
+    let b = measured_mpki("gcc", 150_000);
+    assert!((a - b).abs() < 1e-12, "identical seeds must reproduce: {a} vs {b}");
+}
+
+#[test]
+fn memory_bound_benchmark_is_slower() {
+    let n = 150_000;
+    let run = |name: &str| {
+        let profile = benchmark(name).expect("known");
+        let mut system = System::new(SystemConfig::paper_default(), NullObserver);
+        system.set_source(CoreId(0), Box::new(ProfileSource::new(profile, 0, 7)));
+        system.run(n).completion_cycles[0]
+    };
+    let mcf = run("mcf");
+    let sjeng = run("sjeng");
+    assert!(
+        mcf > sjeng * 2,
+        "mcf ({mcf} cycles) must take much longer than sjeng ({sjeng})"
+    );
+}
+
+#[test]
+fn four_core_contention_increases_misses() {
+    // Running four copies of a churn-heavy benchmark shares the LLC and
+    // must increase per-core misses relative to running alone.
+    let n = 200_000;
+    let profile = benchmark("libquantum").expect("known");
+
+    let mut alone = System::new(SystemConfig::paper_default(), NullObserver);
+    alone.set_source(CoreId(0), Box::new(ProfileSource::new(profile, 0, 7)));
+    let alone_report = alone.run(n);
+    let alone_misses = alone_report.stats.core(CoreId(0)).l3.misses;
+
+    let mut shared = System::new(SystemConfig::paper_default(), NullObserver);
+    for core in 0..4 {
+        shared.set_source(
+            CoreId(core),
+            Box::new(ProfileSource::new(profile, core, 7)),
+        );
+    }
+    let shared_report = shared.run(n);
+    let shared_misses = shared_report.stats.core(CoreId(0)).l3.misses;
+
+    assert!(
+        shared_misses > alone_misses,
+        "LLC contention must add misses: alone {alone_misses}, shared {shared_misses}"
+    );
+}
