@@ -1,0 +1,183 @@
+//! Simulator throughput harness: how many simulated memory accesses per
+//! wall-clock second `System::run` sustains, for the unprotected baseline,
+//! the directory-table baseline monitor, and PiPoMonitor.
+//!
+//! This is the perf trajectory anchor for the repo: every hot-path change is
+//! judged against the numbers this binary emits. Results are written as JSON
+//! (default `BENCH_cache_sim.json`) so CI and future PRs can diff them.
+//!
+//! Usage:
+//!
+//! ```text
+//! throughput [instructions_per_core] [--label NAME] [--out PATH] [--compare PATH]
+//! ```
+//!
+//! `--compare` reads a previously emitted JSON file and appends a speedup
+//! section (this run vs. the old file), which is how a PR records its
+//! before/after delta.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use cache_sim::{CoreId, NullObserver, SimReport, System, SystemConfig, TrafficObserver};
+use pipo_workloads::{mixes::mix_by_name, ProfileSource};
+use pipomonitor::{DirectoryMonitor, DirectoryMonitorConfig, MonitorConfig, PiPoMonitor};
+
+const DEFAULT_INSTRUCTIONS: u64 = 2_000_000;
+const MIX: &str = "mix7";
+const SEED: u64 = 42;
+
+struct Measurement {
+    name: &'static str,
+    accesses: u64,
+    instructions: u64,
+    makespan: u64,
+    elapsed_s: f64,
+}
+
+impl Measurement {
+    fn accesses_per_sec(&self) -> f64 {
+        self.accesses as f64 / self.elapsed_s
+    }
+}
+
+fn total_accesses(report: &SimReport) -> u64 {
+    report.stats.per_core.iter().map(|c| c.l1.accesses()).sum()
+}
+
+fn run_config<O: TrafficObserver>(
+    name: &'static str,
+    observer: O,
+    instructions: u64,
+) -> Measurement {
+    let mix = mix_by_name(MIX).expect("mix exists");
+    let mut system = System::new(SystemConfig::paper_default(), observer);
+    for (core, bench) in mix.benchmarks.iter().enumerate() {
+        system.set_source(CoreId(core), Box::new(ProfileSource::new(bench, core, SEED)));
+    }
+    let start = Instant::now();
+    let report = system.run(instructions);
+    let elapsed_s = start.elapsed().as_secs_f64();
+    Measurement {
+        name,
+        accesses: total_accesses(&report),
+        instructions: report.total_instructions(),
+        makespan: report.makespan(),
+        elapsed_s,
+    }
+}
+
+/// Extracts `"name": ..., "accesses_per_sec": N` pairs from a previously
+/// emitted JSON file without a JSON parser (the schema is our own).
+fn parse_old_rates(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find("\"name\": \"") {
+        rest = &rest[pos + 9..];
+        let Some(end) = rest.find('"') else { break };
+        let name = rest[..end].to_string();
+        let Some(rpos) = rest.find("\"accesses_per_sec\": ") else {
+            break;
+        };
+        rest = &rest[rpos + 20..];
+        let num_end = rest
+            .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+            .unwrap_or(rest.len());
+        if let Ok(rate) = rest[..num_end].parse::<f64>() {
+            out.push((name, rate));
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut instructions = DEFAULT_INSTRUCTIONS;
+    let mut label = String::from("current");
+    let mut out_path = String::from("BENCH_cache_sim.json");
+    let mut compare_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--label" => label = it.next().expect("--label needs a value").clone(),
+            "--out" => out_path = it.next().expect("--out needs a value").clone(),
+            "--compare" => compare_path = Some(it.next().expect("--compare needs a value").clone()),
+            other => {
+                instructions = other
+                    .parse()
+                    .unwrap_or_else(|_| panic!("unrecognized argument {other:?}"));
+            }
+        }
+    }
+
+    let runs = [
+        run_config("baseline", NullObserver, instructions),
+        run_config(
+            "directory_monitor",
+            DirectoryMonitor::new(DirectoryMonitorConfig::paper_comparable()),
+            instructions,
+        ),
+        run_config(
+            "pipomonitor",
+            PiPoMonitor::new(MonitorConfig::paper_default()).expect("valid config"),
+            instructions,
+        ),
+    ];
+
+    let mut json = String::new();
+    writeln!(json, "{{").unwrap();
+    writeln!(json, "  \"bench\": \"cache_sim_throughput\",").unwrap();
+    writeln!(json, "  \"label\": \"{label}\",").unwrap();
+    writeln!(json, "  \"workload\": \"{MIX}\",").unwrap();
+    writeln!(json, "  \"seed\": {SEED},").unwrap();
+    writeln!(json, "  \"instructions_per_core\": {instructions},").unwrap();
+    writeln!(json, "  \"configs\": [").unwrap();
+    for (i, m) in runs.iter().enumerate() {
+        let comma = if i + 1 < runs.len() { "," } else { "" };
+        writeln!(json, "    {{").unwrap();
+        writeln!(json, "      \"name\": \"{}\",", m.name).unwrap();
+        writeln!(json, "      \"accesses\": {},", m.accesses).unwrap();
+        writeln!(json, "      \"instructions\": {},", m.instructions).unwrap();
+        writeln!(json, "      \"makespan_cycles\": {},", m.makespan).unwrap();
+        writeln!(json, "      \"elapsed_s\": {:.6},", m.elapsed_s).unwrap();
+        writeln!(json, "      \"accesses_per_sec\": {:.1}", m.accesses_per_sec()).unwrap();
+        writeln!(json, "    }}{comma}").unwrap();
+    }
+    write!(json, "  ]").unwrap();
+
+    if let Some(path) = compare_path {
+        let old = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read --compare file {path}: {e}"));
+        let old_rates = parse_old_rates(&old);
+        writeln!(json, ",").unwrap();
+        writeln!(json, "  \"comparison\": {{").unwrap();
+        writeln!(json, "    \"against\": \"{path}\",").unwrap();
+        writeln!(json, "    \"speedup\": {{").unwrap();
+        let mut lines = Vec::new();
+        for m in &runs {
+            if let Some((_, old_rate)) = old_rates.iter().find(|(n, _)| n == m.name) {
+                lines.push(format!(
+                    "      \"{}\": {:.2}",
+                    m.name,
+                    m.accesses_per_sec() / old_rate
+                ));
+            }
+        }
+        writeln!(json, "{}", lines.join(",\n")).unwrap();
+        writeln!(json, "    }}").unwrap();
+        write!(json, "  }}").unwrap();
+    }
+    writeln!(json, "\n}}").unwrap();
+
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    println!("{json}");
+    for m in &runs {
+        eprintln!(
+            "{:<20} {:>12.0} accesses/sec  ({} accesses in {:.3}s)",
+            m.name,
+            m.accesses_per_sec(),
+            m.accesses,
+            m.elapsed_s,
+        );
+    }
+}
