@@ -43,7 +43,10 @@ impl ProbeTrace {
             truth.len(),
             "one observation per key bit"
         );
-        Self { observations, truth }
+        Self {
+            observations,
+            truth,
+        }
     }
 
     /// Number of iterations recorded.

@@ -60,11 +60,7 @@ fn fresh_filter(params: FilterParams, trial_seed: u64) -> AutoCuckooFilter {
 
 /// Pre-fills the filter to full occupancy with adversary addresses, then
 /// inserts the target.
-fn prepare_full_filter(
-    filter: &mut AutoCuckooFilter,
-    target: u64,
-    rng: &mut StdRng,
-) {
+fn prepare_full_filter(filter: &mut AutoCuckooFilter, target: u64, rng: &mut StdRng) {
     // Over-insert well past capacity so occupancy saturates.
     let warmup = filter.params().capacity() as u64 * 4;
     for _ in 0..warmup {

@@ -48,12 +48,7 @@ impl EvictionSet {
 
     /// Builds an eviction set with an explicit number of lines.
     #[must_use]
-    pub fn with_ways(
-        hierarchy: &Hierarchy,
-        target: Addr,
-        attacker_base: u64,
-        ways: usize,
-    ) -> Self {
+    pub fn with_ways(hierarchy: &Hierarchy, target: Addr, attacker_base: u64, ways: usize) -> Self {
         let line_size = hierarchy.line_size();
         let sets = hierarchy.llc_sets() as u64;
         let target_set = hierarchy.llc_set_of(target) as u64;

@@ -154,11 +154,8 @@ impl PrimeProbeAttack {
         let square_set = EvictionSet::for_target(hierarchy, layout.square, cfg.attacker_base);
         // Offset the second region so the two sets cannot collide even when
         // the targets share an LLC set.
-        let multiply_set = EvictionSet::for_target(
-            hierarchy,
-            layout.multiply,
-            cfg.attacker_base + (1 << 32),
-        );
+        let multiply_set =
+            EvictionSet::for_target(hierarchy, layout.multiply, cfg.attacker_base + (1 << 32));
 
         let mut observations = Vec::with_capacity(cfg.iterations);
         let mut truth = Vec::with_capacity(cfg.iterations);
@@ -211,8 +208,7 @@ impl PrimeProbeAttack {
             hierarchy.drain_prefetches(now, observer);
 
             // Probe: a miss means the set was disturbed since the prime.
-            let (t, square_misses) =
-                square_set.probe(hierarchy, cfg.attacker_core, now, observer);
+            let (t, square_misses) = square_set.probe(hierarchy, cfg.attacker_core, now, observer);
             let (t, multiply_misses) =
                 multiply_set.probe(hierarchy, cfg.attacker_core, t, observer);
             now = t;
@@ -242,13 +238,7 @@ pub fn touch_victim_noise(
 ) -> Cycle {
     let mut t = now;
     for i in 0..lines {
-        let r = hierarchy.access(
-            core,
-            Addr(base + i * 64),
-            AccessKind::Read,
-            t,
-            observer,
-        );
+        let r = hierarchy.access(core, Addr(base + i * 64), AccessKind::Read, t, observer);
         t += r.latency;
     }
     t
@@ -284,7 +274,9 @@ mod tests {
 
     #[test]
     fn baseline_recovers_full_key() {
-        let key = vec![true, false, false, true, true, false, true, false, true, true];
+        let key = vec![
+            true, false, false, true, true, false, true, false, true, true,
+        ];
         let outcome = run_baseline(key);
         let recovery = outcome.trace.recover_key();
         assert!((recovery.accuracy - 1.0).abs() < 1e-12);
@@ -330,8 +322,7 @@ mod tests {
         let mut h = Hierarchy::new(SystemConfig::paper_default());
         let mut obs = NullObserver;
         // 6 bits, 4 per window: 1 full window + 1 partial window.
-        let victim =
-            SquareAndMultiply::new(VictimLayout::default_layout(), vec![true; 6]);
+        let victim = SquareAndMultiply::new(VictimLayout::default_layout(), vec![true; 6]);
         let cfg = AttackConfig {
             iterations: 10,
             bits_per_window: 4,

@@ -18,7 +18,10 @@ fn main() {
         iterations: windows,
         ..AttackConfig::paper_default()
     };
-    println!("prefetch-delay ablation — {} probe windows, interval 5000 cycles", windows);
+    println!(
+        "prefetch-delay ablation — {} probe windows, interval 5000 cycles",
+        windows
+    );
     println!(
         "{:>8} {:>16} {:>18} {:>14}",
         "delay", "observed frac", "distinguishability", "prefetches"

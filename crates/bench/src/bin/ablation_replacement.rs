@@ -50,10 +50,7 @@ fn main() {
     ];
 
     println!("replacement ablation — attack channel distinguishability");
-    println!(
-        "{:>10} {:>14} {:>14}",
-        "policy", "baseline", "with monitor"
-    );
+    println!("{:>10} {:>14} {:>14}", "policy", "baseline", "with monitor");
     for (name, policy) in policies {
         let (base, defended) = attack_under(policy);
         println!("{name:>10} {base:>14.3} {defended:>14.3}");

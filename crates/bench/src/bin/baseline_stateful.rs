@@ -10,9 +10,7 @@
 
 use auto_cuckoo::{FilterParams, StorageOverhead};
 use cache_sim::{Hierarchy, LineAddr, SystemConfig};
-use pipo_attacks::{
-    AttackConfig, PrimeProbeAttack, SquareAndMultiply, TableFlusher, VictimLayout,
-};
+use pipo_attacks::{AttackConfig, PrimeProbeAttack, SquareAndMultiply, TableFlusher, VictimLayout};
 use pipomonitor::{DirectoryMonitor, DirectoryMonitorConfig, MonitorConfig, PiPoMonitor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -28,7 +26,10 @@ fn main() {
 
 fn storage_comparison() {
     println!("storage comparison (4 MB LLC, 40-bit physical addresses)");
-    println!("{:>34} {:>10} {:>10} {:>10}", "structure", "entries", "KiB", "% of LLC");
+    println!(
+        "{:>34} {:>10} {:>10} {:>10}",
+        "structure", "entries", "KiB", "% of LLC"
+    );
     let llc_bits = (4u64 << 20) * 8;
 
     let filter = StorageOverhead::for_filter(&FilterParams::paper_default(), 4 << 20);
@@ -136,13 +137,21 @@ fn flushing_comparison() {
         "{:>34} {:>20.3} {:>12}",
         "directory table (deterministic)",
         dir_recovery.distinguishability,
-        if dir_recovery.distinguishability > 0.9 { "YES" } else { "no" }
+        if dir_recovery.distinguishability > 0.9 {
+            "YES"
+        } else {
+            "no"
+        }
     );
     println!(
         "{:>34} {:>20.3} {:>12}",
         "Auto-Cuckoo filter (PiPoMonitor)",
         pipo_recovery.distinguishability,
-        if pipo_recovery.distinguishability > 0.9 { "YES" } else { "no" }
+        if pipo_recovery.distinguishability > 0.9 {
+            "YES"
+        } else {
+            "no"
+        }
     );
     println!("\npaper: deterministic record eviction defeats directory-based stateful defenses;");
     println!("autonomic deletion raises the expected flush cost to b*l = 8192 accesses/window");

@@ -18,7 +18,9 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(6_000_000);
 
-    println!("Fig. 4 — fingerprint-collision entry ratios after {insertions} insertions (l=1024, b=8)");
+    println!(
+        "Fig. 4 — fingerprint-collision entry ratios after {insertions} insertions (l=1024, b=8)"
+    );
     println!(
         "{:>4} {:>12} {:>12} {:>12} {:>12} {:>12}",
         "f", "ratio>=2", "ratio=2", "ratio>=3", "eps_analytic", "2b/2^f"

@@ -68,8 +68,6 @@ fn main() {
         );
     }
     let paper_mnk4 = reverse_eviction_set_size(&paper);
-    println!(
-        "\npaper config (b=8, MNK=4): eviction set b^(MNK+1) = {paper_mnk4} (paper: 32768)"
-    );
+    println!("\npaper config (b=8, MNK=4): eviction set b^(MNK+1) = {paper_mnk4} (paper: 32768)");
     println!("targeted attack cost exceeds brute force -> reverse engineering impractical");
 }

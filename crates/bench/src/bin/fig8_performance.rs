@@ -51,8 +51,7 @@ fn main() {
     }
     print!("{:>7}", "mean");
     for runs in &results {
-        let mean: f64 =
-            runs.iter().map(MixRunExt::np).sum::<f64>() / runs.len() as f64;
+        let mean: f64 = runs.iter().map(MixRunExt::np).sum::<f64>() / runs.len() as f64;
         print!("  {mean:>8.4}");
     }
     println!();

@@ -17,7 +17,13 @@ fn main() {
     println!("§VII-C — secThr sensitivity, {instructions} instructions per core");
     println!(
         "{:>7} {:>12} {:>12} {:>12}   {:>12} {:>12} {:>12}",
-        "mix", "perf thr=1", "perf thr=2", "perf thr=3", "fp/Mi thr=1", "fp/Mi thr=2", "fp/Mi thr=3"
+        "mix",
+        "perf thr=1",
+        "perf thr=2",
+        "perf thr=3",
+        "fp/Mi thr=1",
+        "fp/Mi thr=2",
+        "fp/Mi thr=3"
     );
 
     let mut sums = [0.0f64; 3];

@@ -1,6 +1,17 @@
 //! Simulator throughput harness: how many simulated memory accesses per
-//! wall-clock second `System::run` sustains, for the unprotected baseline,
-//! the directory-table baseline monitor, and PiPoMonitor.
+//! wall-clock second `System::run` sustains.
+//!
+//! Measured configurations:
+//!
+//! * `baseline` / `directory_monitor` / `pipomonitor` — the paper's 4-core
+//!   Table II machine running mix7, with no observer, the directory-table
+//!   baseline, and PiPoMonitor respectively.
+//! * `pipomonitor_8c` / `pipomonitor_16c` / `pipomonitor_32c` — the same
+//!   monitored machine scaled to more cores (mix7 benchmarks assigned
+//!   round-robin, each core with its own disjoint address region). These are
+//!   the scaling configurations the event-driven scheduler targets: the old
+//!   linear min-scan charged O(cores) per simulated access, the binary-heap
+//!   scheduler O(log cores) amortized.
 //!
 //! This is the perf trajectory anchor for the repo: every hot-path change is
 //! judged against the numbers this binary emits. Results are written as JSON
@@ -9,12 +20,14 @@
 //! Usage:
 //!
 //! ```text
-//! throughput [instructions_per_core] [--label NAME] [--out PATH] [--compare PATH]
+//! throughput [total_instructions] [--label NAME] [--out PATH] [--compare PATH] [--samples N]
 //! ```
 //!
-//! `--compare` reads a previously emitted JSON file and appends a speedup
-//! section (this run vs. the old file), which is how a PR records its
-//! before/after delta.
+//! Each configuration is simulated `N` times (default 3, fresh system each
+//! time) and the median elapsed time is reported, which tames scheduler and
+//! frequency-scaling noise on shared machines. `--compare` reads a
+//! previously emitted JSON file and appends a speedup section (this run vs.
+//! the old file), which is how a PR records its before/after delta.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -29,6 +42,7 @@ const SEED: u64 = 42;
 
 struct Measurement {
     name: &'static str,
+    cores: usize,
     accesses: u64,
     instructions: u64,
     makespan: u64,
@@ -45,26 +59,49 @@ fn total_accesses(report: &SimReport) -> u64 {
     report.stats.per_core.iter().map(|c| c.l1.accesses()).sum()
 }
 
+/// Runs one configuration `samples` times (fresh system each time) and
+/// reports the median elapsed time. `total_instructions` is split evenly
+/// across cores so every configuration simulates comparable total work.
 fn run_config<O: TrafficObserver>(
     name: &'static str,
-    observer: O,
-    instructions: u64,
+    cores: usize,
+    observer: impl Fn() -> O,
+    total_instructions: u64,
+    samples: usize,
 ) -> Measurement {
     let mix = mix_by_name(MIX).expect("mix exists");
-    let mut system = System::new(SystemConfig::paper_default(), observer);
-    for (core, bench) in mix.benchmarks.iter().enumerate() {
-        system.set_source(CoreId(core), Box::new(ProfileSource::new(bench, core, SEED)));
+    let mut elapsed = Vec::with_capacity(samples);
+    let mut last_report = None;
+    for _ in 0..samples {
+        let mut config = SystemConfig::paper_default();
+        config.cores = cores;
+        let mut system = System::new(config, observer());
+        for core in 0..cores {
+            let bench = mix.benchmarks[core % mix.benchmarks.len()];
+            system.set_source(
+                CoreId(core),
+                Box::new(ProfileSource::new(bench, core, SEED)),
+            );
+        }
+        let start = Instant::now();
+        let report = system.run(total_instructions / cores as u64);
+        elapsed.push(start.elapsed().as_secs_f64());
+        last_report = Some(report);
     }
-    let start = Instant::now();
-    let report = system.run(instructions);
-    let elapsed_s = start.elapsed().as_secs_f64();
+    elapsed.sort_by(f64::total_cmp);
+    let report = last_report.expect("at least one sample");
     Measurement {
         name,
+        cores,
         accesses: total_accesses(&report),
         instructions: report.total_instructions(),
         makespan: report.makespan(),
-        elapsed_s,
+        elapsed_s: elapsed[elapsed.len() / 2],
     }
+}
+
+fn pipo() -> PiPoMonitor {
+    PiPoMonitor::new(MonitorConfig::paper_default()).expect("valid config")
 }
 
 /// Extracts `"name": ..., "accesses_per_sec": N` pairs from a previously
@@ -96,12 +133,21 @@ fn main() {
     let mut label = String::from("current");
     let mut out_path = String::from("BENCH_cache_sim.json");
     let mut compare_path: Option<String> = None;
+    let mut samples = 3usize;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--label" => label = it.next().expect("--label needs a value").clone(),
             "--out" => out_path = it.next().expect("--out needs a value").clone(),
             "--compare" => compare_path = Some(it.next().expect("--compare needs a value").clone()),
+            "--samples" => {
+                samples = it
+                    .next()
+                    .expect("--samples needs a value")
+                    .parse()
+                    .expect("--samples must be a positive integer");
+                assert!(samples > 0, "--samples must be a positive integer");
+            }
             other => {
                 instructions = other
                     .parse()
@@ -111,17 +157,18 @@ fn main() {
     }
 
     let runs = [
-        run_config("baseline", NullObserver, instructions),
+        run_config("baseline", 4, || NullObserver, instructions, samples),
         run_config(
             "directory_monitor",
-            DirectoryMonitor::new(DirectoryMonitorConfig::paper_comparable()),
+            4,
+            || DirectoryMonitor::new(DirectoryMonitorConfig::paper_comparable()),
             instructions,
+            samples,
         ),
-        run_config(
-            "pipomonitor",
-            PiPoMonitor::new(MonitorConfig::paper_default()).expect("valid config"),
-            instructions,
-        ),
+        run_config("pipomonitor", 4, pipo, instructions, samples),
+        run_config("pipomonitor_8c", 8, pipo, instructions, samples),
+        run_config("pipomonitor_16c", 16, pipo, instructions, samples),
+        run_config("pipomonitor_32c", 32, pipo, instructions, samples),
     ];
 
     let mut json = String::new();
@@ -130,17 +177,23 @@ fn main() {
     writeln!(json, "  \"label\": \"{label}\",").unwrap();
     writeln!(json, "  \"workload\": \"{MIX}\",").unwrap();
     writeln!(json, "  \"seed\": {SEED},").unwrap();
-    writeln!(json, "  \"instructions_per_core\": {instructions},").unwrap();
+    writeln!(json, "  \"total_instructions\": {instructions},").unwrap();
     writeln!(json, "  \"configs\": [").unwrap();
     for (i, m) in runs.iter().enumerate() {
         let comma = if i + 1 < runs.len() { "," } else { "" };
         writeln!(json, "    {{").unwrap();
         writeln!(json, "      \"name\": \"{}\",", m.name).unwrap();
+        writeln!(json, "      \"cores\": {},", m.cores).unwrap();
         writeln!(json, "      \"accesses\": {},", m.accesses).unwrap();
         writeln!(json, "      \"instructions\": {},", m.instructions).unwrap();
         writeln!(json, "      \"makespan_cycles\": {},", m.makespan).unwrap();
         writeln!(json, "      \"elapsed_s\": {:.6},", m.elapsed_s).unwrap();
-        writeln!(json, "      \"accesses_per_sec\": {:.1}", m.accesses_per_sec()).unwrap();
+        writeln!(
+            json,
+            "      \"accesses_per_sec\": {:.1}",
+            m.accesses_per_sec()
+        )
+        .unwrap();
         writeln!(json, "    }}{comma}").unwrap();
     }
     write!(json, "  ]").unwrap();
@@ -152,18 +205,23 @@ fn main() {
         writeln!(json, ",").unwrap();
         writeln!(json, "  \"comparison\": {{").unwrap();
         writeln!(json, "    \"against\": \"{path}\",").unwrap();
-        writeln!(json, "    \"speedup\": {{").unwrap();
-        let mut lines = Vec::new();
+        writeln!(json, "    \"old_accesses_per_sec\": {{").unwrap();
+        let mut old_lines = Vec::new();
+        let mut ratio_lines = Vec::new();
         for m in &runs {
             if let Some((_, old_rate)) = old_rates.iter().find(|(n, _)| n == m.name) {
-                lines.push(format!(
+                old_lines.push(format!("      \"{}\": {:.1}", m.name, old_rate));
+                ratio_lines.push(format!(
                     "      \"{}\": {:.2}",
                     m.name,
                     m.accesses_per_sec() / old_rate
                 ));
             }
         }
-        writeln!(json, "{}", lines.join(",\n")).unwrap();
+        writeln!(json, "{}", old_lines.join(",\n")).unwrap();
+        writeln!(json, "    }},").unwrap();
+        writeln!(json, "    \"speedup\": {{").unwrap();
+        writeln!(json, "{}", ratio_lines.join(",\n")).unwrap();
         writeln!(json, "    }}").unwrap();
         write!(json, "  }}").unwrap();
     }

@@ -59,7 +59,10 @@ impl MixRun {
 pub fn run_mix_baseline(mix: &Mix, instructions: u64, seed: u64) -> SimReport {
     let mut system = System::new(SystemConfig::paper_default(), NullObserver);
     for (core, bench) in mix.benchmarks.iter().enumerate() {
-        system.set_source(CoreId(core), Box::new(ProfileSource::new(bench, core, seed)));
+        system.set_source(
+            CoreId(core),
+            Box::new(ProfileSource::new(bench, core, seed)),
+        );
     }
     system.run(instructions)
 }
@@ -102,14 +105,20 @@ pub fn run_mix_monitored_on(
 ) -> MixRun {
     let mut baseline_sys = System::new(system_config.clone(), NullObserver);
     for (core, bench) in mix.benchmarks.iter().enumerate() {
-        baseline_sys.set_source(CoreId(core), Box::new(ProfileSource::new(bench, core, seed)));
+        baseline_sys.set_source(
+            CoreId(core),
+            Box::new(ProfileSource::new(bench, core, seed)),
+        );
     }
     let baseline = baseline_sys.run(instructions);
 
     let monitor = PiPoMonitor::new(monitor_config).expect("valid monitor configuration");
     let mut system = System::new(system_config, monitor);
     for (core, bench) in mix.benchmarks.iter().enumerate() {
-        system.set_source(CoreId(core), Box::new(ProfileSource::new(bench, core, seed)));
+        system.set_source(
+            CoreId(core),
+            Box::new(ProfileSource::new(bench, core, seed)),
+        );
     }
     let monitored = system.run(instructions);
     let stats = *system.observer().stats();

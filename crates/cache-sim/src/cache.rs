@@ -3,7 +3,7 @@
 use crate::config::CacheGeometry;
 use crate::line::LineMeta;
 use crate::replacement::{Replacement, ReplacementPolicy};
-use crate::types::LineAddr;
+use crate::types::{Cycle, LineAddr};
 
 /// A line evicted by a fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -14,11 +14,13 @@ pub struct EvictedLine {
     pub meta: LineMeta,
 }
 
+/// The per-way record scanned on every lookup: the tag packed together with
+/// the LRU recency stamp, 16 bytes per way, so a probe-plus-touch of a
+/// 4-way set reads and writes exactly one 64-byte host cache line.
 #[derive(Debug, Clone, Copy, Default)]
-struct Slot {
-    valid: bool,
+struct WaySlot {
     tag: u64,
-    meta: LineMeta,
+    stamp: Cycle,
 }
 
 /// One set-associative cache level.
@@ -26,6 +28,11 @@ struct Slot {
 /// Lines are identified by [`LineAddr`]; the set index is the low bits of the
 /// line address and the tag is the remainder. The cache does not know its
 /// level — the [`Hierarchy`](crate::Hierarchy) composes caches into L1/L2/L3.
+///
+/// Storage is split structure-of-arrays style for the lookup-dominated
+/// simulation hot path: a packed array of tag+recency records scanned on
+/// every lookup, a validity bitset, and a separate [`LineMeta`] array that is
+/// only dereferenced when metadata is actually read or written.
 ///
 /// # Examples
 ///
@@ -42,7 +49,13 @@ struct Slot {
 #[derive(Debug, Clone)]
 pub struct Cache {
     geometry: CacheGeometry,
-    slots: Vec<Slot>,
+    /// Tag + LRU stamp of each way, indexed `set * ways + way`; meaningful
+    /// only where the corresponding `valid` bit is set.
+    slots: Vec<WaySlot>,
+    /// One validity bit per slot, packed 64 per word.
+    valid: Vec<u64>,
+    /// Metadata of each slot, parallel to `slots`.
+    metas: Vec<LineMeta>,
     policy: ReplacementPolicy,
     set_mask: u64,
     set_shift: u32,
@@ -61,8 +74,11 @@ impl Cache {
             "set count must be a power of two"
         );
         let policy = ReplacementPolicy::new(replacement, geometry.sets, geometry.ways);
+        let lines = geometry.lines();
         Self {
-            slots: vec![Slot::default(); geometry.lines()],
+            slots: vec![WaySlot::default(); lines],
+            valid: vec![0; lines.div_ceil(64)],
+            metas: vec![LineMeta::default(); lines],
             set_mask: (geometry.sets as u64) - 1,
             set_shift: geometry.sets.trailing_zeros(),
             geometry,
@@ -94,16 +110,63 @@ impl Cache {
         set * self.geometry.ways + way
     }
 
+    #[inline]
+    fn is_valid(&self, idx: usize) -> bool {
+        self.valid[idx >> 6] & (1 << (idx & 63)) != 0
+    }
+
+    #[inline]
+    fn set_valid(&mut self, idx: usize) {
+        self.valid[idx >> 6] |= 1 << (idx & 63);
+    }
+
+    #[inline]
+    fn clear_valid(&mut self, idx: usize) {
+        self.valid[idx >> 6] &= !(1 << (idx & 63));
+    }
+
+    #[inline]
     fn find(&self, line: LineAddr) -> Option<(usize, usize)> {
         let set = self.set_of(line);
         let tag = self.tag_of(line);
-        for way in 0..self.geometry.ways {
-            let slot = &self.slots[self.slot_index(set, way)];
-            if slot.valid && slot.tag == tag {
+        let base = set * self.geometry.ways;
+        let slots = &self.slots[base..base + self.geometry.ways];
+        for (way, slot) in slots.iter().enumerate() {
+            if slot.tag == tag && self.is_valid(base + way) {
                 return Some((set, way));
             }
         }
         None
+    }
+
+    /// Updates replacement state for a touch of `way` in `set`.
+    #[inline]
+    fn touch_way(&mut self, set: usize, way: usize) {
+        if let Some(stamp) = self.policy.lru_stamp() {
+            self.slots[set * self.geometry.ways + way].stamp = stamp;
+        } else {
+            self.policy.on_touch(set, way);
+        }
+    }
+
+    /// Chooses the victim way of a full `set`.
+    fn victim_way(&mut self, set: usize) -> usize {
+        if matches!(self.policy, ReplacementPolicy::Lru { .. }) {
+            // First-minimum stamp scan, matching classic LRU tie-breaking.
+            let base = set * self.geometry.ways;
+            let slots = &self.slots[base..base + self.geometry.ways];
+            let mut best = 0;
+            let mut best_stamp = Cycle::MAX;
+            for (way, slot) in slots.iter().enumerate() {
+                if slot.stamp < best_stamp {
+                    best_stamp = slot.stamp;
+                    best = way;
+                }
+            }
+            best
+        } else {
+            self.policy.victim(set)
+        }
     }
 
     /// Whether the line is resident.
@@ -114,25 +177,26 @@ impl Cache {
 
     /// Looks a line up *and* updates replacement state on a hit. Returns the
     /// line's metadata when resident.
+    #[inline]
     pub fn touch(&mut self, line: LineAddr) -> Option<&mut LineMeta> {
         let (set, way) = self.find(line)?;
-        self.policy.on_touch(set, way);
+        self.touch_way(set, way);
         let idx = self.slot_index(set, way);
-        Some(&mut self.slots[idx].meta)
+        Some(&mut self.metas[idx])
     }
 
     /// Reads a line's metadata without updating replacement state.
     #[must_use]
     pub fn peek(&self, line: LineAddr) -> Option<&LineMeta> {
         let (set, way) = self.find(line)?;
-        Some(&self.slots[self.slot_index(set, way)].meta)
+        Some(&self.metas[self.slot_index(set, way)])
     }
 
     /// Mutates a line's metadata without updating replacement state.
     pub fn peek_mut(&mut self, line: LineAddr) -> Option<&mut LineMeta> {
         let (set, way) = self.find(line)?;
         let idx = self.slot_index(set, way);
-        Some(&mut self.slots[idx].meta)
+        Some(&mut self.metas[idx])
     }
 
     /// Inserts a line, evicting a victim if the set is full. The new line is
@@ -143,37 +207,33 @@ impl Cache {
         let tag = self.tag_of(line);
         // Already resident: overwrite metadata.
         if let Some((set, way)) = self.find(line) {
-            self.policy.on_touch(set, way);
+            self.touch_way(set, way);
             let idx = self.slot_index(set, way);
-            self.slots[idx].meta = meta;
+            self.metas[idx] = meta;
             return None;
         }
         // Prefer an invalid way.
         for way in 0..self.geometry.ways {
             let idx = self.slot_index(set, way);
-            if !self.slots[idx].valid {
-                self.slots[idx] = Slot {
-                    valid: true,
-                    tag,
-                    meta,
-                };
-                self.policy.on_touch(set, way);
+            if !self.is_valid(idx) {
+                self.slots[idx].tag = tag;
+                self.metas[idx] = meta;
+                self.set_valid(idx);
+                self.touch_way(set, way);
                 return None;
             }
         }
         // Evict a victim.
-        let way = self.policy.victim(set);
+        let way = self.victim_way(set);
         let idx = self.slot_index(set, way);
-        let victim = self.slots[idx];
-        self.slots[idx] = Slot {
-            valid: true,
-            tag,
-            meta,
-        };
-        self.policy.on_touch(set, way);
+        let victim_tag = self.slots[idx].tag;
+        let victim_meta = self.metas[idx];
+        self.slots[idx].tag = tag;
+        self.metas[idx] = meta;
+        self.touch_way(set, way);
         Some(EvictedLine {
-            line: self.line_of(set, victim.tag),
-            meta: victim.meta,
+            line: self.line_of(set, victim_tag),
+            meta: victim_meta,
         })
     }
 
@@ -181,33 +241,38 @@ impl Cache {
     pub fn invalidate(&mut self, line: LineAddr) -> Option<LineMeta> {
         let (set, way) = self.find(line)?;
         let idx = self.slot_index(set, way);
-        let meta = self.slots[idx].meta;
-        self.slots[idx] = Slot::default();
+        let meta = self.metas[idx];
+        self.slots[idx] = WaySlot::default();
+        self.metas[idx] = LineMeta::default();
+        self.clear_valid(idx);
         Some(meta)
     }
 
     /// Number of valid lines resident.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.slots.iter().filter(|s| s.valid).count()
+        self.valid.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// Whether the cache holds no lines.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.slots.iter().all(|s| !s.valid)
+        self.valid.iter().all(|&w| w == 0)
     }
 
     /// Iterates over resident lines and their metadata.
     pub fn resident_lines(&self) -> impl Iterator<Item = (LineAddr, &LineMeta)> + '_ {
-        self.slots.iter().enumerate().filter_map(move |(idx, s)| {
-            if s.valid {
-                let set = idx / self.geometry.ways;
-                Some((self.line_of(set, s.tag), &s.meta))
-            } else {
-                None
-            }
-        })
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(move |(idx, slot)| {
+                if self.is_valid(idx) {
+                    let set = idx / self.geometry.ways;
+                    Some((self.line_of(set, slot.tag), &self.metas[idx]))
+                } else {
+                    None
+                }
+            })
     }
 }
 
@@ -270,8 +335,10 @@ mod tests {
     fn refill_of_resident_line_replaces_meta_without_eviction() {
         let mut c = cache(2, 1);
         c.fill(LineAddr(0), LineMeta::default());
-        let mut meta = LineMeta::default();
-        meta.dirty = true;
+        let meta = LineMeta {
+            dirty: true,
+            ..LineMeta::default()
+        };
         let evicted = c.fill(LineAddr(0), meta);
         assert!(evicted.is_none());
         assert!(c.peek(LineAddr(0)).expect("resident").dirty);
@@ -281,8 +348,10 @@ mod tests {
     #[test]
     fn invalidate_removes_and_returns_meta() {
         let mut c = cache(2, 2);
-        let mut meta = LineMeta::default();
-        meta.protected = true;
+        let meta = LineMeta {
+            protected: true,
+            ..LineMeta::default()
+        };
         c.fill(LineAddr(6), meta);
         let got = c.invalidate(LineAddr(6)).expect("resident");
         assert!(got.protected);
@@ -327,5 +396,77 @@ mod tests {
         c.fill(LineAddr(1), LineMeta::default());
         c.peek_mut(LineAddr(1)).expect("resident").accessed = true;
         assert!(c.peek(LineAddr(1)).expect("resident").accessed);
+    }
+
+    #[test]
+    fn lru_eviction_follows_touch_order() {
+        // Moved here from replacement.rs: LRU ordering now lives in the
+        // cache's interleaved stamp array. Lines 0,2,4,6 all map to set 0.
+        let mut c = cache(2, 4);
+        for line in [6, 2, 0, 4] {
+            c.fill(LineAddr(line), LineMeta::default());
+        }
+        // Fresh conflicting fills must evict in touch order: 6, 2, 0, 4.
+        for (i, expect) in [6u64, 2, 0, 4].into_iter().enumerate() {
+            let fresh = LineAddr(8 + 2 * i as u64);
+            let evicted = c.fill(fresh, LineMeta::default()).expect("set full");
+            assert_eq!(evicted.line, LineAddr(expect));
+        }
+    }
+
+    #[test]
+    fn lru_sets_are_independent() {
+        let mut c = cache(2, 2);
+        // Set 0 holds lines 0, 2; set 1 holds lines 1, 3.
+        c.fill(LineAddr(0), LineMeta::default());
+        c.fill(LineAddr(2), LineMeta::default());
+        c.fill(LineAddr(1), LineMeta::default());
+        c.fill(LineAddr(3), LineMeta::default());
+        c.touch(LineAddr(0)); // set 0: line 2 is now LRU
+        c.touch(LineAddr(3)); // set 1: line 1 is now LRU
+        assert_eq!(
+            c.fill(LineAddr(4), LineMeta::default()).expect("full").line,
+            LineAddr(2)
+        );
+        assert_eq!(
+            c.fill(LineAddr(5), LineMeta::default()).expect("full").line,
+            LineAddr(1)
+        );
+    }
+
+    #[test]
+    fn tree_plru_cache_evicts_valid_ways() {
+        let mut c = Cache::new(
+            CacheGeometry {
+                sets: 1,
+                ways: 4,
+                latency: 1,
+            },
+            Replacement::TreePlru,
+        );
+        for i in 0..16u64 {
+            c.fill(LineAddr(i), LineMeta::default());
+            assert!(c.contains(LineAddr(i)));
+            assert!(c.len() <= 4);
+        }
+    }
+
+    #[test]
+    fn random_cache_is_deterministic() {
+        let run = || {
+            let mut c = Cache::new(
+                CacheGeometry {
+                    sets: 2,
+                    ways: 2,
+                    latency: 1,
+                },
+                Replacement::Random { seed: 3 },
+            );
+            (0..100u64)
+                .filter_map(|i| c.fill(LineAddr(i), LineMeta::default()))
+                .map(|e| e.line.0)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -15,6 +15,9 @@ pub enum ConfigError {
     BadGeometry(&'static str),
     /// The system needs at least one core.
     NoCores,
+    /// The directory's [`SharerSet`](crate::SharerSet) bitmap tracks at most
+    /// 64 cores.
+    TooManyCores(usize),
 }
 
 impl fmt::Display for ConfigError {
@@ -22,6 +25,10 @@ impl fmt::Display for ConfigError {
         match self {
             ConfigError::BadGeometry(what) => write!(f, "invalid cache geometry: {what}"),
             ConfigError::NoCores => write!(f, "system must have at least one core"),
+            ConfigError::TooManyCores(cores) => write!(
+                f,
+                "system has {cores} cores but the sharer bitmap supports at most 64"
+            ),
         }
     }
 }
@@ -48,12 +55,25 @@ impl CacheGeometry {
     /// sets, or any argument is zero.
     #[must_use]
     pub fn from_capacity(bytes: usize, ways: usize, line_size: usize, latency: Cycle) -> Self {
-        assert!(bytes > 0 && ways > 0 && line_size > 0, "zero geometry argument");
+        assert!(
+            bytes > 0 && ways > 0 && line_size > 0,
+            "zero geometry argument"
+        );
         let lines = bytes / line_size;
-        assert!(lines % ways == 0, "capacity must divide into whole sets");
+        assert!(
+            lines.is_multiple_of(ways),
+            "capacity must divide into whole sets"
+        );
         let sets = lines / ways;
-        assert!(sets.is_power_of_two(), "set count {sets} must be a power of two");
-        Self { sets, ways, latency }
+        assert!(
+            sets.is_power_of_two(),
+            "set count {sets} must be a power of two"
+        );
+        Self {
+            sets,
+            ways,
+            latency,
+        }
     }
 
     /// Total line capacity (`sets × ways`).
@@ -165,11 +185,17 @@ impl SystemConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError`] for zero cores, a non-power-of-two line size,
+    /// Returns [`ConfigError`] for zero or more than 64 cores (the sharer
+    /// bitmap's limit), a non-power-of-two line size,
     /// or invalid per-level geometry.
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.cores == 0 {
             return Err(ConfigError::NoCores);
+        }
+        // The LLC directory tracks sharers in a 64-bit bitmap, and eviction
+        // back-invalidation trusts it: a 65th core would silently alias.
+        if self.cores > 64 {
+            return Err(ConfigError::TooManyCores(self.cores));
         }
         if !self.line_size.is_power_of_two() || self.line_size == 0 {
             return Err(ConfigError::BadGeometry("line size not a power of two"));
@@ -227,6 +253,16 @@ mod tests {
         let mut cfg = SystemConfig::paper_default();
         cfg.cores = 0;
         assert_eq!(cfg.validate().unwrap_err(), ConfigError::NoCores);
+    }
+
+    #[test]
+    fn validate_rejects_more_cores_than_sharer_bits() {
+        let mut cfg = SystemConfig::paper_default();
+        cfg.cores = 64;
+        cfg.validate().expect("64 cores is the limit, not past it");
+        cfg.cores = 65;
+        assert_eq!(cfg.validate().unwrap_err(), ConfigError::TooManyCores(65));
+        assert!(cfg.validate().unwrap_err().to_string().contains("64"));
     }
 
     #[test]

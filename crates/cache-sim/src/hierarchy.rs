@@ -41,6 +41,12 @@ pub struct Hierarchy {
     l3: Cache,
     dram: Dram,
     stats: HierarchyStats,
+    /// `log2(line_size)`, hoisted so the per-access address-to-line shift
+    /// does not recompute it.
+    line_shift: u32,
+    /// Reusable buffer for observer prefetch draining; drained lines are
+    /// staged here so steady-state draining allocates nothing.
+    prefetch_scratch: Vec<LineAddr>,
 }
 
 impl Hierarchy {
@@ -62,6 +68,7 @@ impl Hierarchy {
         let l3 = Cache::new(config.l3, config.replacement);
         let dram = Dram::new(config.dram_latency);
         let stats = HierarchyStats::new(config.cores);
+        let line_shift = (config.line_size as u64).trailing_zeros();
         Self {
             config,
             l1,
@@ -69,6 +76,8 @@ impl Hierarchy {
             l3,
             dram,
             stats,
+            line_shift,
+            prefetch_scratch: Vec::new(),
         }
     }
 
@@ -146,12 +155,15 @@ impl Hierarchy {
         now: Cycle,
         observer: &mut dyn TrafficObserver,
     ) -> AccessResult {
-        let line = addr.line(self.line_size());
+        let line = LineAddr(addr.0 >> self.line_shift);
         let is_write = kind.is_write();
 
+        // Each level is probed with a single `touch` lookup: on a hit it
+        // returns the metadata and updates replacement state in one way scan,
+        // on a miss it is exactly the residency check for the next level.
+
         // ---- L1 hit ----
-        if self.l1[core.0].contains(line) {
-            let meta = self.l1[core.0].touch(line).expect("just checked");
+        if let Some(meta) = self.l1[core.0].touch(line) {
             if is_write {
                 meta.dirty = true;
             }
@@ -159,8 +171,7 @@ impl Hierarchy {
             if is_write {
                 latency += self.write_upgrade(core, line);
             }
-            self.stats.record_access(core, Level::L1);
-            self.stats.core_mut(core).stall_cycles += latency;
+            self.stats.record_served(core, Level::L1, latency);
             return AccessResult {
                 latency,
                 served_by: Level::L1,
@@ -169,15 +180,13 @@ impl Hierarchy {
         }
 
         // ---- L2 hit ----
-        if self.l2[core.0].contains(line) {
-            self.l2[core.0].touch(line);
+        if self.l2[core.0].touch(line).is_some() {
             self.fill_l1(core, line, is_write);
             let mut latency = self.config.l2.latency;
             if is_write {
                 latency += self.write_upgrade(core, line);
             }
-            self.stats.record_access(core, Level::L2);
-            self.stats.core_mut(core).stall_cycles += latency;
+            self.stats.record_served(core, Level::L2, latency);
             return AccessResult {
                 latency,
                 served_by: Level::L2,
@@ -186,8 +195,7 @@ impl Hierarchy {
         }
 
         // ---- L3 hit ----
-        if self.l3.contains(line) {
-            let meta = self.l3.touch(line).expect("just checked");
+        if let Some(meta) = self.l3.touch(line) {
             let prefetch_hit = meta.prefetched && !meta.accessed;
             meta.accessed = true;
             meta.prefetched = false;
@@ -204,8 +212,7 @@ impl Hierarchy {
             }
             self.fill_l2(core, line);
             self.fill_l1(core, line, is_write);
-            self.stats.record_access(core, Level::L3);
-            self.stats.core_mut(core).stall_cycles += latency;
+            self.stats.record_served(core, Level::L3, latency);
             return AccessResult {
                 latency,
                 served_by: Level::L3,
@@ -220,8 +227,7 @@ impl Hierarchy {
         self.fill_l3(line, meta, now, observer);
         self.fill_l2(core, line);
         self.fill_l1(core, line, is_write);
-        self.stats.record_access(core, Level::Memory);
-        self.stats.core_mut(core).stall_cycles += latency;
+        self.stats.record_served(core, Level::Memory, latency);
         AccessResult {
             latency,
             served_by: Level::Memory,
@@ -250,11 +256,24 @@ impl Hierarchy {
     }
 
     /// Drains an observer's due prefetches into the LLC.
+    ///
+    /// A no-op unless the observer's earliest pending prefetch is due. Due
+    /// lines are staged in a reusable buffer (snapshot semantics: prefetches
+    /// scheduled *during* insertion — e.g. by eviction notifications the
+    /// inserts trigger — wait for the next drain), so steady-state draining
+    /// performs no heap allocation.
     pub fn drain_prefetches(&mut self, now: Cycle, observer: &mut dyn TrafficObserver) {
-        let due = observer.due_prefetches(now);
-        for line in due {
+        match observer.next_prefetch_due() {
+            Some(due) if due <= now => {}
+            _ => return,
+        }
+        let mut buf = std::mem::take(&mut self.prefetch_scratch);
+        buf.clear();
+        observer.drain_due_prefetches(now, &mut buf);
+        for &line in &buf {
             self.insert_prefetch(line, now, observer);
         }
+        self.prefetch_scratch = buf;
     }
 
     /// Fills a line into the LLC, handling eviction of a victim: inclusive
@@ -270,12 +289,15 @@ impl Hierarchy {
         if let Some(evicted) = self.l3.fill(line, meta) {
             self.stats.llc_evictions += 1;
             let mut dirty = evicted.meta.dirty;
-            for c in 0..self.config.cores {
-                if let Some(m) = self.l1[c].invalidate(evicted.line) {
+            // Private copies can only live in cores recorded as sharers
+            // (inclusivity keeps the directory a superset of the private
+            // holders), so iterate the sharer bitmap instead of all cores.
+            for c in evicted.meta.sharers.iter() {
+                if let Some(m) = self.l1[c.0].invalidate(evicted.line) {
                     self.stats.back_invalidations += 1;
                     dirty |= m.dirty;
                 }
-                if let Some(m) = self.l2[c].invalidate(evicted.line) {
+                if let Some(m) = self.l2[c.0].invalidate(evicted.line) {
                     self.stats.back_invalidations += 1;
                     dirty |= m.dirty;
                 }
@@ -296,8 +318,7 @@ impl Hierarchy {
     /// Fills a line into `core`'s L2, maintaining L1 ⊆ L2 by back-
     /// invalidating the L1 copy of any victim and propagating dirtiness down.
     fn fill_l2(&mut self, core: CoreId, line: LineAddr) {
-        if self.l2[core.0].contains(line) {
-            self.l2[core.0].touch(line);
+        if self.l2[core.0].touch(line).is_some() {
             return;
         }
         if let Some(evicted) = self.l2[core.0].fill(line, LineMeta::default()) {
@@ -393,20 +414,27 @@ impl Hierarchy {
     /// Invalidates other cores' private copies of `line`; returns the extra
     /// latency cost (one LLC access when any invalidation was sent).
     fn invalidate_other_sharers(&mut self, core: CoreId, line: LineAddr) -> Cycle {
-        let others: Vec<CoreId> = match self.l3.peek(line) {
-            Some(meta) => meta.sharers.iter().filter(|&c| c != core).collect(),
-            None => Vec::new(),
-        };
-        if others.is_empty() {
+        // The sharer set is `Copy`, so snapshot it and walk the bits
+        // directly — no allocation on this coherence path.
+        let Some(meta) = self.l3.peek(line) else {
             return 0;
-        }
-        for other in &others {
+        };
+        let sharers = meta.sharers;
+        let mut any_other = false;
+        for other in sharers.iter() {
+            if other == core {
+                continue;
+            }
+            any_other = true;
             if self.l1[other.0].invalidate(line).is_some() {
                 self.stats.coherence_invalidations += 1;
             }
             if self.l2[other.0].invalidate(line).is_some() {
                 self.stats.coherence_invalidations += 1;
             }
+        }
+        if !any_other {
+            return 0;
         }
         if let Some(meta) = self.l3.peek_mut(line) {
             meta.sharers = SharerSet::only(core);
@@ -495,7 +523,10 @@ mod tests {
         // The target must have been evicted from the LLC and, by
         // inclusivity, from core 0's L1 as well.
         assert!(!h.llc_contains(target));
-        assert!(!h.l1_contains(CoreId(0), target), "back-invalidation failed");
+        assert!(
+            !h.l1_contains(CoreId(0), target),
+            "back-invalidation failed"
+        );
         assert!(h.stats().back_invalidations > 0);
         assert!(h.stats().llc_evictions >= 1);
         assert!(!obs.evictions.is_empty());
@@ -561,7 +592,13 @@ mod tests {
         let ls = h.line_size();
         h.access(CoreId(0), Addr(0), AccessKind::Write, 0, &mut obs);
         for i in 1..=(ways as u64) {
-            h.access(CoreId(0), Addr(i * sets * ls), AccessKind::Read, i, &mut obs);
+            h.access(
+                CoreId(0),
+                Addr(i * sets * ls),
+                AccessKind::Read,
+                i,
+                &mut obs,
+            );
         }
         assert!(!h.llc_contains(Addr(0)));
         assert!(h.stats().writebacks >= 1);
@@ -579,7 +616,13 @@ mod tests {
         let sets = h.llc_sets() as u64;
         let ls = h.line_size();
         for i in 1..=(ways as u64) {
-            h.access(CoreId(0), Addr(i * sets * ls), AccessKind::Read, i, &mut obs);
+            h.access(
+                CoreId(0),
+                Addr(i * sets * ls),
+                AccessKind::Read,
+                i,
+                &mut obs,
+            );
         }
         let evict = obs
             .evictions
@@ -623,7 +666,13 @@ mod tests {
         // beyond its 2 ways but within L2 capacity.
         let l1_sets = 16u64;
         for i in 0..3u64 {
-            h.access(CoreId(0), Addr(i * l1_sets * 64), AccessKind::Read, i, &mut obs);
+            h.access(
+                CoreId(0),
+                Addr(i * l1_sets * 64),
+                AccessKind::Read,
+                i,
+                &mut obs,
+            );
         }
         // First line fell out of L1 but stays in L2.
         let r = h.access(CoreId(0), Addr(0), AccessKind::Read, 10, &mut obs);

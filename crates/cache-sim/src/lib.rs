@@ -15,6 +15,17 @@
 //! Everything is deterministic: replacement randomness comes from seeded
 //! generators, so every experiment is exactly reproducible.
 //!
+//! The simulation hot path is engineered to be allocation-free in steady
+//! state: [`System::run`] schedules cores through a reusable binary min-heap
+//! (popping the earliest `(clock, core)` event instead of rescanning all
+//! cores), prefetch draining is event-driven through
+//! [`TrafficObserver::next_prefetch_due`] and the buffer-reusing
+//! [`TrafficObserver::drain_due_prefetches`] sink API, and [`Cache`] stores
+//! packed tag+recency records separately from line metadata so lookups scan
+//! one host cache line per set. `tests/scheduler_regression.rs` pins the
+//! engine's results bit-exactly and `tests/no_alloc_hot_path.rs` counts
+//! allocations to keep these properties honest.
+//!
 //! # Examples
 //!
 //! ```
@@ -50,7 +61,7 @@ pub use dram::Dram;
 pub use hierarchy::Hierarchy;
 pub use line::{LineMeta, SharerSet};
 pub use observer::{NullObserver, RecordingObserver, TrafficObserver};
-pub use replacement::{Replacement, ReplacementPolicy};
+pub use replacement::Replacement;
 pub use stats::{CoreStats, HierarchyStats, LevelStats};
 pub use system::{SimReport, System};
 pub use types::{AccessKind, AccessResult, Addr, CoreId, Cycle, Level, LineAddr};

@@ -54,18 +54,41 @@ impl SharerSet {
         self.0 == 1 << core.0
     }
 
-    /// Iterates the sharer core ids.
-    pub fn iter(&self) -> impl Iterator<Item = CoreId> + '_ {
-        let bits = self.0;
-        (0..64).filter_map(move |i| {
-            if bits & (1 << i) != 0 {
-                Some(CoreId(i))
-            } else {
-                None
-            }
-        })
+    /// Iterates the sharer core ids in ascending order.
+    ///
+    /// The iterator owns a copy of the bitmask and walks it with
+    /// `trailing_zeros` + clear-lowest-set-bit, so iteration costs one step
+    /// per *sharer* rather than one per possible core — this sits on the
+    /// LLC-eviction back-invalidation hot path.
+    #[must_use]
+    pub fn iter(&self) -> SharerIter {
+        SharerIter(self.0)
     }
 }
+
+/// Iterator over the members of a [`SharerSet`] (see [`SharerSet::iter`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SharerIter(u64);
+
+impl Iterator for SharerIter {
+    type Item = CoreId;
+
+    fn next(&mut self) -> Option<CoreId> {
+        if self.0 == 0 {
+            return None;
+        }
+        let core = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(CoreId(core))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.0.count_ones() as usize;
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for SharerIter {}
 
 /// Metadata carried by a cached line.
 ///
@@ -156,6 +179,17 @@ mod tests {
         s.insert(CoreId(5));
         let members: Vec<_> = s.iter().collect();
         assert_eq!(members, vec![CoreId(1), CoreId(5)]);
+    }
+
+    #[test]
+    fn sharer_set_iter_edge_bits() {
+        assert_eq!(SharerSet::empty().iter().count(), 0);
+        let mut s = SharerSet::empty();
+        s.insert(CoreId(0));
+        s.insert(CoreId(63));
+        let members: Vec<_> = s.iter().collect();
+        assert_eq!(members, vec![CoreId(0), CoreId(63)]);
+        assert_eq!(s.iter().len(), 2);
     }
 
     #[test]

@@ -5,6 +5,15 @@
 //! §IV). The [`TrafficObserver`] trait is exactly that vantage point: it sees
 //! every LLC→memory demand fetch and every LLC eviction, and may inject
 //! prefetches back into the LLC.
+//!
+//! # Allocation-free draining
+//!
+//! Prefetch draining is a sink-style API: the system hands the observer a
+//! reusable buffer ([`drain_due_prefetches`](TrafficObserver::drain_due_prefetches))
+//! instead of receiving a freshly allocated `Vec` per call, and first asks
+//! [`next_prefetch_due`](TrafficObserver::next_prefetch_due) so it only
+//! drains when something is actually due. Steady-state simulation therefore
+//! performs no per-access heap allocation on the observer path.
 
 use crate::types::{Cycle, LineAddr};
 
@@ -27,11 +36,35 @@ pub trait TrafficObserver {
         let _ = (line, protected, accessed, now);
     }
 
-    /// Drains prefetches that have become due at or before `now`. The system
-    /// inserts each returned line into the LLC via the memory fetch queue.
-    fn due_prefetches(&mut self, now: Cycle) -> Vec<LineAddr> {
-        let _ = now;
-        Vec::new()
+    /// The release time of the next issuable prefetch, or `None` when
+    /// nothing can issue.
+    ///
+    /// "Next issuable" is the observer's call: a FIFO-ordered implementation
+    /// (like `PrefetchQueue`) reports its head entry even when a later entry
+    /// has an earlier release time — prefetches then issue strictly in
+    /// schedule order.
+    ///
+    /// The system polls this (it is a cheap, non-virtual call on the concrete
+    /// observer inside [`System::run`](crate::System::run)) and only invokes
+    /// [`drain_due_prefetches`](Self::drain_due_prefetches) when the earliest
+    /// release time has been reached — the event-driven alternative to
+    /// draining before every simulation step.
+    ///
+    /// Deliberately *not* defaulted: draining is gated on this method, so an
+    /// observer that queued prefetches but reported `None` here would
+    /// silently never have them drained. Observers that never prefetch
+    /// simply return `None`.
+    fn next_prefetch_due(&self) -> Option<Cycle>;
+
+    /// Appends every prefetch issuable at or before `now` into `out`, in
+    /// schedule order, removing them from the pending queue.
+    ///
+    /// `out` is a reusable buffer owned by the caller; implementations must
+    /// only `push` (never read stale contents — the caller clears it). The
+    /// system inserts each drained line into the LLC via the memory fetch
+    /// queue.
+    fn drain_due_prefetches(&mut self, now: Cycle, out: &mut Vec<LineAddr>) {
+        let _ = (now, out);
     }
 }
 
@@ -39,7 +72,11 @@ pub trait TrafficObserver {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullObserver;
 
-impl TrafficObserver for NullObserver {}
+impl TrafficObserver for NullObserver {
+    fn next_prefetch_due(&self) -> Option<Cycle> {
+        None
+    }
+}
 
 /// A recording observer for tests: remembers every event it saw.
 #[derive(Debug, Clone, Default)]
@@ -61,6 +98,10 @@ impl TrafficObserver for RecordingObserver {
     fn on_llc_eviction(&mut self, line: LineAddr, protected: bool, accessed: bool, now: Cycle) {
         self.evictions.push((line, protected, accessed, now));
     }
+
+    fn next_prefetch_due(&self) -> Option<Cycle> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -68,11 +109,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn null_observer_never_tags() {
+    fn null_observer_never_tags_or_prefetches() {
         let mut o = NullObserver;
         assert!(!o.on_memory_fetch(LineAddr(1), 0));
         o.on_llc_eviction(LineAddr(1), true, true, 5);
-        assert!(o.due_prefetches(100).is_empty());
+        assert_eq!(o.next_prefetch_due(), None);
+        let mut out = Vec::new();
+        o.drain_due_prefetches(100, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

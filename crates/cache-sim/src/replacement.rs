@@ -4,13 +4,20 @@
 //! and random replacement are provided for the ablation harness (DESIGN.md
 //! §6) because detection-based defenses interact with how predictable LLC
 //! evictions are.
+//!
+//! LRU recency stamps do **not** live here: they are interleaved with the
+//! tags inside [`Cache`](crate::Cache)'s way array, so a lookup and its
+//! recency update touch one host cache line per set instead of two parallel
+//! arrays. This policy object only carries the monotone LRU clock (and the
+//! full state machines of the non-default policies).
 
 use crate::types::Cycle;
 
 /// Which replacement policy a cache uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Replacement {
     /// True least-recently-used.
+    #[default]
     Lru,
     /// Tree pseudo-LRU (binary decision tree per set), as implemented in most
     /// real L1/L2 caches.
@@ -22,28 +29,19 @@ pub enum Replacement {
     },
 }
 
-impl Default for Replacement {
-    fn default() -> Self {
-        Replacement::Lru
-    }
-}
-
-/// Per-cache replacement state machine.
-///
-/// The cache reports accesses and fills; the policy answers victim queries.
-/// All methods take the set index so one policy instance serves the whole
-/// cache.
+/// Per-cache replacement state machine. Crate-internal: the LRU variant
+/// only works driven by [`Cache`](crate::Cache), which keeps the recency
+/// stamps interleaved with its tag array and special-cases LRU touch and
+/// victim selection; [`on_touch`](Self::on_touch) and
+/// [`victim`](Self::victim) serve the tree-PLRU and random policies.
 #[derive(Debug, Clone)]
-pub enum ReplacementPolicy {
-    /// LRU via per-way last-touch timestamps.
+pub(crate) enum ReplacementPolicy {
+    /// True LRU. Holds only the monotone touch clock; per-way stamps are
+    /// stored in the cache's way array.
     Lru {
-        /// `stamp[set * ways + way]` = last touch time.
-        stamps: Vec<Cycle>,
         /// Monotone counter, incremented per touch (decoupled from sim time
         /// so two touches in the same cycle still order).
         clock: Cycle,
-        /// Ways per set.
-        ways: usize,
     },
     /// Tree-PLRU with `ways` a power of two.
     TreePlru {
@@ -71,11 +69,7 @@ impl ReplacementPolicy {
     #[must_use]
     pub fn new(kind: Replacement, sets: usize, ways: usize) -> Self {
         match kind {
-            Replacement::Lru => ReplacementPolicy::Lru {
-                stamps: vec![0; sets * ways],
-                clock: 0,
-                ways,
-            },
+            Replacement::Lru => ReplacementPolicy::Lru { clock: 0 },
             Replacement::TreePlru => {
                 assert!(
                     ways.is_power_of_two(),
@@ -87,19 +81,40 @@ impl ReplacementPolicy {
                 }
             }
             Replacement::Random { seed } => ReplacementPolicy::Random {
-                state: if seed == 0 { 0xdead_beef_cafe_f00d } else { seed },
+                state: if seed == 0 {
+                    0xdead_beef_cafe_f00d
+                } else {
+                    seed
+                },
                 ways,
             },
         }
     }
 
-    /// Notes that `way` of `set` was touched (hit or fill).
+    /// For the LRU variant: advances the clock and returns the fresh stamp
+    /// the cache must record for the touched way.
+    ///
+    /// Returns `None` without touching any state for non-LRU policies — the
+    /// caller must then report the touch via [`on_touch`](Self::on_touch)
+    /// (see `Cache::touch_way`, which uses the `None` as the fast-path
+    /// discriminant).
+    #[inline]
+    pub fn lru_stamp(&mut self) -> Option<Cycle> {
+        match self {
+            ReplacementPolicy::Lru { clock } => {
+                *clock += 1;
+                Some(*clock)
+            }
+            _ => None,
+        }
+    }
+
+    /// Notes that `way` of `set` was touched (hit or fill). No-op for LRU
+    /// (the cache records the stamp from [`lru_stamp`](Self::lru_stamp)
+    /// directly into its way array).
     pub fn on_touch(&mut self, set: usize, way: usize) {
         match self {
-            ReplacementPolicy::Lru { stamps, clock, ways } => {
-                *clock += 1;
-                stamps[set * *ways + way] = *clock;
-            }
+            ReplacementPolicy::Lru { .. } => {}
             ReplacementPolicy::TreePlru { bits, ways } => {
                 if *ways == 1 {
                     return;
@@ -125,22 +140,17 @@ impl ReplacementPolicy {
         }
     }
 
-    /// Chooses a victim way within `set`. All ways are assumed valid (the
-    /// cache fills invalid ways before asking).
+    /// Chooses a victim way within `set` for the non-LRU policies. All ways
+    /// are assumed valid (the cache fills invalid ways before asking).
+    ///
+    /// # Panics
+    ///
+    /// Panics for the LRU variant: LRU victims are chosen by the cache from
+    /// its interleaved stamp array.
     pub fn victim(&mut self, set: usize) -> usize {
         match self {
-            ReplacementPolicy::Lru { stamps, ways, .. } => {
-                let base = set * *ways;
-                let mut best = 0;
-                let mut best_stamp = Cycle::MAX;
-                for way in 0..*ways {
-                    let s = stamps[base + way];
-                    if s < best_stamp {
-                        best_stamp = s;
-                        best = way;
-                    }
-                }
-                best
+            ReplacementPolicy::Lru { .. } => {
+                unreachable!("LRU victim selection happens in Cache::fill")
             }
             ReplacementPolicy::TreePlru { bits, ways } => {
                 if *ways == 1 {
@@ -179,26 +189,19 @@ mod tests {
     use super::*;
 
     #[test]
-    fn lru_evicts_least_recent() {
+    fn lru_clock_is_monotone() {
         let mut p = ReplacementPolicy::new(Replacement::Lru, 2, 4);
-        for way in 0..4 {
-            p.on_touch(0, way);
-        }
-        p.on_touch(0, 0); // way 0 is now most recent; way 1 is LRU
-        assert_eq!(p.victim(0), 1);
-        p.on_touch(0, 1);
-        assert_eq!(p.victim(0), 2);
+        assert_eq!(p.lru_stamp(), Some(1));
+        assert_eq!(p.lru_stamp(), Some(2));
+        assert_eq!(p.lru_stamp(), Some(3));
     }
 
     #[test]
-    fn lru_sets_are_independent() {
-        let mut p = ReplacementPolicy::new(Replacement::Lru, 2, 2);
-        p.on_touch(0, 0);
-        p.on_touch(0, 1);
-        p.on_touch(1, 1);
-        p.on_touch(1, 0);
-        assert_eq!(p.victim(0), 0);
-        assert_eq!(p.victim(1), 1);
+    fn non_lru_policies_report_no_stamp() {
+        let mut p = ReplacementPolicy::new(Replacement::TreePlru, 1, 4);
+        assert_eq!(p.lru_stamp(), None);
+        let mut p = ReplacementPolicy::new(Replacement::Random { seed: 1 }, 1, 4);
+        assert_eq!(p.lru_stamp(), None);
     }
 
     #[test]
@@ -246,19 +249,5 @@ mod tests {
         let mut p = ReplacementPolicy::new(Replacement::Random { seed: 0 }, 1, 4);
         let vs: Vec<_> = (0..50).map(|_| p.victim(0)).collect();
         assert!(vs.iter().any(|&v| v != vs[0]));
-    }
-
-    #[test]
-    fn lru_full_cycle_order() {
-        let mut p = ReplacementPolicy::new(Replacement::Lru, 1, 4);
-        for way in [3, 1, 0, 2] {
-            p.on_touch(0, way);
-        }
-        // Eviction order must follow touch order: 3, 1, 0, 2.
-        for expect in [3, 1, 0, 2] {
-            let v = p.victim(0);
-            assert_eq!(v, expect);
-            p.on_touch(0, v); // refresh so the next-oldest surfaces
-        }
     }
 }

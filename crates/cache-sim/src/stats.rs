@@ -98,7 +98,16 @@ impl HierarchyStats {
     /// Records a hit at `level` for `core`, marking misses at the levels
     /// above it.
     pub fn record_access(&mut self, core: CoreId, served_by: Level) {
+        self.record_served(core, served_by, 0);
+    }
+
+    /// Like [`record_access`](Self::record_access) but also charges the
+    /// access latency to the core's stall cycles, all through one per-core
+    /// lookup — the form the hierarchy's hot path uses.
+    #[inline]
+    pub fn record_served(&mut self, core: CoreId, served_by: Level, latency: Cycle) {
         let c = self.core_mut(core);
+        c.stall_cycles += latency;
         match served_by {
             Level::L1 => {
                 c.l1.hits += 1;

@@ -1,4 +1,23 @@
 //! The multi-core system: cores + hierarchy + memory-controller observer.
+//!
+//! # Scheduling
+//!
+//! [`System::run`] is event-driven: live cores sit in a binary min-heap keyed
+//! by `(local clock, core index)`, and the earliest core is popped and
+//! stepped. While the popped core remains strictly earliest it keeps
+//! stepping without touching the heap (the common case — cores drift apart
+//! in time), so scheduler cost is amortized far below one heap operation per
+//! access. Prefetch draining is likewise event-driven: the observer is asked
+//! for its earliest pending release time (a static call on the concrete
+//! observer type) and drained only when that time has arrived, instead of
+//! being polled before every step.
+//!
+//! The schedule this produces is identical to the previous linear min-scan
+//! (ties broken toward the lowest core index), which
+//! `tests/scheduler_regression.rs` pins bit-exactly.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use crate::core::{AccessSource, Core};
 use crate::hierarchy::Hierarchy;
@@ -78,6 +97,9 @@ pub struct System<O: TrafficObserver> {
     hierarchy: Hierarchy,
     cores: Vec<Core>,
     observer: O,
+    /// Reusable scheduler heap of `(next event time, core index)`; kept
+    /// across runs so repeated [`run`](Self::run) calls do not reallocate.
+    schedule: BinaryHeap<Reverse<(Cycle, usize)>>,
 }
 
 /// A source that immediately reports exhaustion (default for cores without
@@ -95,13 +117,15 @@ impl<O: TrafficObserver> System<O> {
     /// [`set_source`](Self::set_source).
     #[must_use]
     pub fn new(config: crate::config::SystemConfig, observer: O) -> Self {
-        let cores = (0..config.cores)
+        let cores: Vec<Core> = (0..config.cores)
             .map(|i| Core::new(CoreId(i), Box::new(EmptySource)))
             .collect();
+        let schedule = BinaryHeap::with_capacity(cores.len());
         Self {
             hierarchy: Hierarchy::new(config),
             cores,
             observer,
+            schedule,
         }
     }
 
@@ -134,20 +158,45 @@ impl<O: TrafficObserver> System<O> {
     /// Runs until every core has retired `instructions_per_core` instructions
     /// (or exhausted its source). Cores interleave in local-time order, which
     /// approximates concurrent execution on a shared hierarchy.
+    ///
+    /// Steady state performs no heap allocation per simulated access: the
+    /// scheduler heap, the observer's prefetch queue, and the drain buffer
+    /// are all reused across steps.
     pub fn run(&mut self, instructions_per_core: u64) -> SimReport {
-        loop {
-            // Pick the live core with the smallest local clock.
-            let next = self
-                .cores
-                .iter()
-                .enumerate()
-                .filter(|(_, c)| !c.is_exhausted() && c.retired() < instructions_per_core)
-                .min_by_key(|(_, c)| c.now())
-                .map(|(i, _)| i);
-            let Some(idx) = next else { break };
-            let now = self.cores[idx].now();
-            self.hierarchy.drain_prefetches(now, &mut self.observer);
-            self.cores[idx].step(&mut self.hierarchy, &mut self.observer);
+        self.schedule.clear();
+        for (idx, core) in self.cores.iter().enumerate() {
+            if !core.is_exhausted() && core.retired() < instructions_per_core {
+                self.schedule.push(Reverse((core.now(), idx)));
+            }
+        }
+        while let Some(Reverse((_, idx))) = self.schedule.pop() {
+            // Step the popped core for as long as it stays the globally
+            // earliest `(time, index)` event, draining due prefetches at the
+            // core's clock before each step (exactly the schedule the linear
+            // min-scan produced, minus the per-step scan).
+            loop {
+                let now = self.cores[idx].now();
+                if self
+                    .observer
+                    .next_prefetch_due()
+                    .is_some_and(|due| due <= now)
+                {
+                    self.hierarchy.drain_prefetches(now, &mut self.observer);
+                }
+                if !self.cores[idx].step(&mut self.hierarchy, &mut self.observer) {
+                    break; // Source exhausted; the core leaves the schedule.
+                }
+                if self.cores[idx].retired() >= instructions_per_core {
+                    break; // Quota reached.
+                }
+                let after = self.cores[idx].now();
+                if let Some(&Reverse(next)) = self.schedule.peek() {
+                    if (after, idx) >= next {
+                        self.schedule.push(Reverse((after, idx)));
+                        break;
+                    }
+                }
+            }
         }
         // Flush any prefetches still pending at the end of the run.
         let end = self.cores.iter().map(Core::now).max().unwrap_or(0);

@@ -26,7 +26,10 @@ impl Addr {
     /// Panics if `line_size` is not a power of two.
     #[must_use]
     pub fn line(self, line_size: u64) -> LineAddr {
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         LineAddr(self.0 >> line_size.trailing_zeros())
     }
 }

@@ -30,7 +30,9 @@ pub mod test_runner {
         /// A configuration running `cases` cases per property.
         #[must_use]
         pub fn with_cases(cases: u64) -> Self {
-            Self { cases: cases.max(1) }
+            Self {
+                cases: cases.max(1),
+            }
         }
     }
 

@@ -256,8 +256,12 @@ impl TrafficObserver for DirectoryMonitor {
         }
     }
 
-    fn due_prefetches(&mut self, now: Cycle) -> Vec<LineAddr> {
-        self.queue.drain_due(now)
+    fn next_prefetch_due(&self) -> Option<Cycle> {
+        self.queue.next_due()
+    }
+
+    fn drain_due_prefetches(&mut self, now: Cycle, out: &mut Vec<LineAddr>) {
+        self.queue.drain_due_into(now, out);
     }
 }
 
@@ -364,11 +368,17 @@ mod tests {
     fn pevict_schedules_prefetch_like_pipomonitor() {
         let mut m = DirectoryMonitor::new(small());
         m.on_llc_eviction(LineAddr(9), true, true, 100);
-        assert_eq!(m.due_prefetches(109), Vec::new());
-        assert_eq!(m.due_prefetches(110), vec![LineAddr(9)]);
+        assert_eq!(m.next_prefetch_due(), Some(110));
+        let mut out = Vec::new();
+        m.drain_due_prefetches(109, &mut out);
+        assert_eq!(out, Vec::new());
+        m.drain_due_prefetches(110, &mut out);
+        assert_eq!(out, vec![LineAddr(9)]);
         // Unaccessed tagged eviction: suppressed.
         m.on_llc_eviction(LineAddr(9), true, false, 200);
-        assert!(m.due_prefetches(1_000).is_empty());
+        out.clear();
+        m.drain_due_prefetches(1_000, &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

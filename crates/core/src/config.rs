@@ -105,10 +105,7 @@ mod tests {
 
     #[test]
     fn with_builders_replace_fields() {
-        let filter = FilterParams::builder()
-            .buckets(512)
-            .build()
-            .expect("valid");
+        let filter = FilterParams::builder().buckets(512).build().expect("valid");
         let cfg = MonitorConfig::paper_default()
             .with_filter(filter)
             .with_prefetch_delay(100);

@@ -11,6 +11,13 @@
 //! prefetches it back after a short delay, so the attacker's probes always
 //! observe a resident line and learn nothing.
 //!
+//! The monitor participates in the simulator's allocation-free hot path: its
+//! [`PrefetchQueue`] deduplicates pending lines through an O(1) membership
+//! set, exposes the earliest release time via [`PrefetchQueue::next_due`] so
+//! the system only drains when a prefetch is actually due, and drains into a
+//! caller-owned reusable buffer ([`PrefetchQueue::drain_due_into`]) instead
+//! of allocating a `Vec` per call.
+//!
 //! # Examples
 //!
 //! Running a workload on a monitored system:

@@ -138,8 +138,12 @@ impl TrafficObserver for PiPoMonitor {
         }
     }
 
-    fn due_prefetches(&mut self, now: Cycle) -> Vec<LineAddr> {
-        self.queue.drain_due(now)
+    fn next_prefetch_due(&self) -> Option<Cycle> {
+        self.queue.next_due()
+    }
+
+    fn drain_due_prefetches(&mut self, now: Cycle, out: &mut Vec<LineAddr>) {
+        self.queue.drain_due_into(now, out);
     }
 }
 
@@ -176,14 +180,22 @@ mod tests {
         assert_eq!(m.stats().captures, 0);
     }
 
+    fn due(m: &mut PiPoMonitor, now: Cycle) -> Vec<LineAddr> {
+        let mut out = Vec::new();
+        m.drain_due_prefetches(now, &mut out);
+        out
+    }
+
     #[test]
     fn pevict_of_accessed_line_schedules_prefetch() {
         let mut m = monitor();
         let line = LineAddr(7);
         m.on_llc_eviction(line, true, true, 100);
         assert_eq!(m.stats().prefetches_scheduled, 1);
-        assert!(m.due_prefetches(100 + 49).is_empty());
-        assert_eq!(m.due_prefetches(100 + 50), vec![line]);
+        assert_eq!(m.next_prefetch_due(), Some(150));
+        assert!(due(&mut m, 100 + 49).is_empty());
+        assert_eq!(due(&mut m, 100 + 50), vec![line]);
+        assert_eq!(m.next_prefetch_due(), None);
     }
 
     #[test]
@@ -192,7 +204,8 @@ mod tests {
         m.on_llc_eviction(LineAddr(7), true, false, 100);
         assert_eq!(m.stats().prefetches_scheduled, 0);
         assert_eq!(m.stats().prefetches_suppressed, 1);
-        assert!(m.due_prefetches(10_000).is_empty());
+        assert_eq!(m.next_prefetch_due(), None);
+        assert!(due(&mut m, 10_000).is_empty());
     }
 
     #[test]
@@ -200,7 +213,7 @@ mod tests {
         let mut m = monitor();
         m.on_llc_eviction(LineAddr(7), false, true, 100);
         assert_eq!(m.stats().pevicts, 0);
-        assert!(m.due_prefetches(10_000).is_empty());
+        assert!(due(&mut m, 10_000).is_empty());
     }
 
     #[test]

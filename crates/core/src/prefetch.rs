@@ -5,8 +5,14 @@
 //! not contend with the same line's writeback) and then asks the memory fetch
 //! queue to bring the line back into the LLC (paper §IV, "Prefetching
 //! Ping-Pong lines").
+//!
+//! The queue is built for the simulator's allocation-free hot path: duplicate
+//! suppression is O(1) via a membership set kept in sync with the FIFO
+//! (instead of a linear scan of pending entries), draining appends into a
+//! caller-owned buffer, and [`next_due`](PrefetchQueue::next_due) exposes the
+//! earliest release time so callers only drain when something is ready.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 
 use cache_sim::{Cycle, LineAddr};
 
@@ -20,6 +26,7 @@ use cache_sim::{Cycle, LineAddr};
 ///
 /// let mut q = PrefetchQueue::new(50);
 /// q.schedule(LineAddr(7), 100);
+/// assert_eq!(q.next_due(), Some(150));
 /// assert!(q.drain_due(149).is_empty()); // not due yet
 /// assert_eq!(q.drain_due(150), vec![LineAddr(7)]);
 /// ```
@@ -27,6 +34,8 @@ use cache_sim::{Cycle, LineAddr};
 pub struct PrefetchQueue {
     delay: Cycle,
     pending: VecDeque<(Cycle, LineAddr)>,
+    /// Lines currently in `pending`, for O(1) duplicate suppression.
+    members: HashSet<LineAddr>,
     scheduled_total: u64,
 }
 
@@ -37,6 +46,7 @@ impl PrefetchQueue {
         Self {
             delay,
             pending: VecDeque::new(),
+            members: HashSet::new(),
             scheduled_total: 0,
         }
     }
@@ -53,26 +63,54 @@ impl PrefetchQueue {
     /// same line twice without it being refetched in between, but prefetch
     /// cascades could otherwise duplicate work).
     pub fn schedule(&mut self, line: LineAddr, now: Cycle) {
-        if self.pending.iter().any(|&(_, l)| l == line) {
+        if !self.members.insert(line) {
             return;
         }
         self.pending.push_back((now + self.delay, line));
         self.scheduled_total += 1;
     }
 
-    /// Removes and returns every line whose release time is `<= now`,
-    /// preserving schedule order.
-    pub fn drain_due(&mut self, now: Cycle) -> Vec<LineAddr> {
-        let mut due = Vec::new();
-        // Entries are pushed in nondecreasing release order (same fixed
-        // delay), so popping from the front is sufficient.
+    /// Release time of the prefetch at the head of the FIFO, or `None` if
+    /// empty.
+    ///
+    /// Prefetches issue strictly in schedule order (a hardware-style FIFO
+    /// with head-of-line blocking): because simulated cores apply their
+    /// think time *after* being scheduled, `pEvict` timestamps — and hence
+    /// release times — are not globally monotone, so an entry behind the
+    /// head can in principle have an earlier release. It still waits for the
+    /// head. This matches the queue's behaviour since the seed
+    /// implementation; the bit-identity goldens pin it.
+    #[must_use]
+    pub fn next_due(&self) -> Option<Cycle> {
+        self.pending.front().map(|&(release, _)| release)
+    }
+
+    /// Pops the longest due prefix of the FIFO (every entry from the front
+    /// whose release time is `<= now`) into `out`, preserving schedule
+    /// order. In-order issue: a due entry parked behind a not-yet-due head
+    /// stays queued (see [`next_due`](Self::next_due)).
+    ///
+    /// The caller owns (and typically reuses) `out`, so steady-state draining
+    /// allocates nothing.
+    pub fn drain_due_into(&mut self, now: Cycle, out: &mut Vec<LineAddr>) {
         while let Some(&(release, line)) = self.pending.front() {
             if release > now {
                 break;
             }
             self.pending.pop_front();
-            due.push(line);
+            self.members.remove(&line);
+            out.push(line);
         }
+    }
+
+    /// Removes and returns every line whose release time is `<= now`.
+    ///
+    /// Allocating convenience wrapper around
+    /// [`drain_due_into`](Self::drain_due_into) for tests and examples; the
+    /// simulator hot path uses the buffer-reusing form.
+    pub fn drain_due(&mut self, now: Cycle) -> Vec<LineAddr> {
+        let mut due = Vec::new();
+        self.drain_due_into(now, &mut due);
         due
     }
 
@@ -112,6 +150,7 @@ mod tests {
     fn zero_delay_releases_immediately() {
         let mut q = PrefetchQueue::new(0);
         q.schedule(LineAddr(2), 42);
+        assert_eq!(q.next_due(), Some(42));
         assert_eq!(q.drain_due(42), vec![LineAddr(2)]);
     }
 
@@ -132,9 +171,12 @@ mod tests {
         let mut q = PrefetchQueue::new(10);
         q.schedule(LineAddr(1), 0); // due at 10
         q.schedule(LineAddr(2), 20); // due at 30
+        assert_eq!(q.next_due(), Some(10));
         assert_eq!(q.drain_due(15), vec![LineAddr(1)]);
         assert_eq!(q.len(), 1);
+        assert_eq!(q.next_due(), Some(30));
         assert_eq!(q.drain_due(30), vec![LineAddr(2)]);
+        assert_eq!(q.next_due(), None);
     }
 
     #[test]
@@ -148,5 +190,14 @@ mod tests {
         // After draining, the line may be scheduled again.
         q.schedule(LineAddr(1), 50);
         assert_eq!(q.scheduled_total(), 2);
+    }
+
+    #[test]
+    fn drain_due_into_appends_without_clearing() {
+        let mut q = PrefetchQueue::new(0);
+        q.schedule(LineAddr(1), 1);
+        let mut buf = vec![LineAddr(99)];
+        q.drain_due_into(5, &mut buf);
+        assert_eq!(buf, vec![LineAddr(99), LineAddr(1)]);
     }
 }

@@ -1,0 +1,101 @@
+//! Property tests of the prefetch queue's ordering, dedup, and sink-drain
+//! invariants — the contracts the allocation-free observer path relies on.
+
+use cache_sim::LineAddr;
+use pipomonitor::PrefetchQueue;
+use proptest::prelude::*;
+
+/// `(line, gap)` schedule events: each event schedules `line` at a clock
+/// `gap` cycles after the previous event (nondecreasing time, as in a real
+/// simulation).
+fn arb_events() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..32, 0u64..20), 1..200)
+}
+
+proptest! {
+    /// Draining everything returns pending lines in schedule order, without
+    /// duplicates, and exactly the set of lines scheduled since the last
+    /// drain.
+    #[test]
+    fn drain_preserves_schedule_order_and_dedups(
+        events in arb_events(),
+        delay in 0u64..100,
+    ) {
+        let mut q = PrefetchQueue::new(delay);
+        let mut now = 0;
+        let mut expected = Vec::new();
+        for &(line, gap) in &events {
+            now += gap;
+            q.schedule(LineAddr(line), now);
+            if !expected.contains(&LineAddr(line)) {
+                expected.push(LineAddr(line));
+            }
+        }
+        prop_assert_eq!(q.len(), expected.len());
+        let drained = q.drain_due(now + delay);
+        prop_assert_eq!(drained, expected);
+        prop_assert!(q.is_empty());
+        prop_assert_eq!(q.next_due(), None);
+    }
+
+    /// A partial drain at time `t` returns exactly the entries with release
+    /// time `<= t`, and `next_due` always reports the earliest remaining
+    /// release.
+    #[test]
+    fn partial_drains_respect_release_times(
+        events in arb_events(),
+        delay in 1u64..50,
+        step in 1u64..40,
+    ) {
+        let mut q = PrefetchQueue::new(delay);
+        let mut now = 0;
+        let mut releases = Vec::new(); // (release, line) in schedule order
+        for &(line, gap) in &events {
+            now += gap;
+            let l = LineAddr(line);
+            if !releases.iter().any(|&(_, x)| x == l) {
+                releases.push((now + delay, l));
+            }
+            q.schedule(l, now);
+        }
+        let mut t = 0;
+        let mut drained_all = Vec::new();
+        let mut buf = Vec::new();
+        while !q.is_empty() {
+            prop_assert_eq!(q.next_due(), releases.get(drained_all.len()).map(|&(r, _)| r));
+            buf.clear();
+            q.drain_due_into(t, &mut buf);
+            for &line in &buf {
+                drained_all.push(line);
+            }
+            // Everything due at or before t must be gone.
+            if let Some(due) = q.next_due() {
+                prop_assert!(due > t);
+            }
+            t += step;
+        }
+        let expected: Vec<_> = releases.iter().map(|&(_, l)| l).collect();
+        prop_assert_eq!(drained_all, expected);
+    }
+
+    /// After draining, a line may be rescheduled; while pending it may not.
+    /// `scheduled_total` counts accepted schedules only.
+    #[test]
+    fn dedup_window_is_the_pending_window(
+        line in 0u64..16,
+        delay in 0u64..20,
+        attempts in 1u64..10,
+    ) {
+        let mut q = PrefetchQueue::new(delay);
+        for i in 0..attempts {
+            q.schedule(LineAddr(line), i); // all dup after the first
+        }
+        prop_assert_eq!(q.len(), 1);
+        prop_assert_eq!(q.scheduled_total(), 1);
+        let drained = q.drain_due(attempts + delay);
+        prop_assert_eq!(drained.len(), 1);
+        q.schedule(LineAddr(line), 1000);
+        prop_assert_eq!(q.len(), 1);
+        prop_assert_eq!(q.scheduled_total(), 2);
+    }
+}

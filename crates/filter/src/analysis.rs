@@ -166,7 +166,10 @@ mod tests {
     fn reverse_eviction_set_grows_exponentially_with_mnk() {
         let size = |mnk| {
             reverse_eviction_set_size(
-                &FilterParams::builder().max_kicks(mnk).build().expect("valid"),
+                &FilterParams::builder()
+                    .max_kicks(mnk)
+                    .build()
+                    .expect("valid"),
             )
         };
         assert_eq!(size(0), 8);
@@ -203,7 +206,10 @@ mod tests {
             4 << 20,
         );
         let big = StorageOverhead::for_filter(
-            &FilterParams::builder().buckets(2048).build().expect("valid"),
+            &FilterParams::builder()
+                .buckets(2048)
+                .build()
+                .expect("valid"),
             4 << 20,
         );
         assert!((big.total_bits as f64 / small.total_bits as f64 - 4.0).abs() < 1e-9);

@@ -368,7 +368,10 @@ mod tests {
                 saw_deletion = true;
             }
         }
-        assert!(saw_deletion, "over-insertion must trigger autonomic deletion");
+        assert!(
+            saw_deletion,
+            "over-insertion must trigger autonomic deletion"
+        );
         assert!(f.stats().autonomic_deletions > 0);
     }
 

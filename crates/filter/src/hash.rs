@@ -157,7 +157,11 @@ impl DetRng {
     /// constant, since xorshift has a zero fixed point).
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        let state = if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed };
+        let state = if seed == 0 {
+            0x9e37_79b9_7f4a_7c15
+        } else {
+            seed
+        };
         Self { state }
     }
 

@@ -163,7 +163,7 @@ mod tests {
 
     #[test]
     fn census_classifies_by_tally() {
-        let entries = vec![
+        let entries = [
             entry_with_tally(1),
             entry_with_tally(1),
             entry_with_tally(2),

@@ -77,7 +77,10 @@ impl ProfileSource {
         llc_sets: u64,
     ) -> Self {
         profile.assert_valid();
-        assert!(llc_sets.is_power_of_two(), "LLC set count must be a power of two");
+        assert!(
+            llc_sets.is_power_of_two(),
+            "LLC set count must be a power of two"
+        );
         let region = (core_index as u64 + 1) * CORE_REGION_LINES;
         Self {
             profile: *profile,
@@ -182,7 +185,10 @@ mod tests {
             .map(|_| b.next_access().expect("infinite").addr.0)
             .min()
             .expect("nonempty");
-        assert!(max_a < min_b, "core regions overlap: {max_a:#x} vs {min_b:#x}");
+        assert!(
+            max_a < min_b,
+            "core regions overlap: {max_a:#x} vs {min_b:#x}"
+        );
     }
 
     #[test]
@@ -247,10 +253,8 @@ mod tests {
         let needed = (p.churn_lines as f64 / p.p_churn * 1.2) as u64;
         for i in 0..needed {
             let line = src.next_access().expect("infinite").addr.0 / LINE_SIZE;
-            if churn_range.contains(&line) {
-                if first_seen.insert(line, i).is_some() {
-                    revisits += 1;
-                }
+            if churn_range.contains(&line) && first_seen.insert(line, i).is_some() {
+                revisits += 1;
             }
         }
         assert!(revisits > 0, "churn tier must revisit lines");

@@ -5,8 +5,8 @@
 //! Run with: `cargo run --release --example filter_security`
 
 use auto_cuckoo::{
-    brute_force_expected_fills, reverse_eviction_set_size, AutoCuckooFilter,
-    ClassicCuckooFilter, DeleteOutcome, FilterParams,
+    brute_force_expected_fills, reverse_eviction_set_size, AutoCuckooFilter, ClassicCuckooFilter,
+    DeleteOutcome, FilterParams,
 };
 use pipo_attacks::brute_force_eviction;
 
@@ -24,8 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let target = 0x40u64;
     classic.insert(target)?;
 
-    use auto_cuckoo::hash::candidate_buckets;
     use auto_cuckoo::fingerprint_of;
+    use auto_cuckoo::hash::candidate_buckets;
     let collider = (1..)
         .map(|i| target + i * 64)
         .find(|&c| {

@@ -22,7 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. Run half a million instructions per core.
     let report = system.run(500_000);
 
-    println!("ran {} on {} cores", mix.name, report.completion_cycles.len());
+    println!(
+        "ran {} on {} cores",
+        mix.name,
+        report.completion_cycles.len()
+    );
     println!("makespan: {} cycles", report.makespan());
     for core in 0..4 {
         let id = CoreId(core);

@@ -3,7 +3,9 @@
 //! system and learns nothing on the PiPoMonitor-protected system.
 
 use cache_sim::{Hierarchy, NullObserver, SystemConfig};
-use pipo_attacks::{AttackConfig, AttackOutcome, PrimeProbeAttack, SquareAndMultiply, VictimLayout};
+use pipo_attacks::{
+    AttackConfig, AttackOutcome, PrimeProbeAttack, SquareAndMultiply, VictimLayout,
+};
 use pipomonitor::{MonitorConfig, PiPoMonitor};
 
 fn run_attack(defended: bool, config: AttackConfig, seed: u64) -> AttackOutcome {
@@ -107,7 +109,11 @@ fn defended_lockstep_attack_is_degraded() {
         baseline.distinguishability,
         defended.distinguishability
     );
-    assert!(defended.accuracy < 0.9, "defended accuracy {}", defended.accuracy);
+    assert!(
+        defended.accuracy < 0.9,
+        "defended accuracy {}",
+        defended.accuracy
+    );
 }
 
 /// The monitor's view of the attack: the victim's lines are captured as

@@ -11,9 +11,7 @@
 //!   floods shut.
 
 use cache_sim::{Hierarchy, SystemConfig};
-use pipo_attacks::{
-    AttackConfig, PrimeProbeAttack, SquareAndMultiply, TableFlusher, VictimLayout,
-};
+use pipo_attacks::{AttackConfig, PrimeProbeAttack, SquareAndMultiply, TableFlusher, VictimLayout};
 use pipomonitor::{DirectoryMonitor, DirectoryMonitorConfig, MonitorConfig, PiPoMonitor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

@@ -6,9 +6,7 @@
 //! behaviour.
 
 use cache_sim::{Hierarchy, NullObserver, SystemConfig};
-use pipo_attacks::{
-    AttackConfig, EvictReloadAttack, SquareAndMultiply, VictimLayout,
-};
+use pipo_attacks::{AttackConfig, EvictReloadAttack, SquareAndMultiply, VictimLayout};
 use pipomonitor::{MonitorConfig, PiPoMonitor};
 
 fn config() -> AttackConfig {

@@ -71,13 +71,20 @@ fn fig4_collision_ratio_tracks_epsilon() {
     let (r12, heavy12) = ratio(12);
     // Halving per bit => ~4x per 2 bits, with generous sampling slack.
     assert!(r8 / r10 > 2.0 && r8 / r10 < 8.0, "r8/r10 = {}", r8 / r10);
-    assert!(r10 / r12 > 2.0 && r10 / r12 < 8.0, "r10/r12 = {}", r10 / r12);
+    assert!(
+        r10 / r12 > 2.0 && r10 / r12 < 8.0,
+        "r10/r12 = {}",
+        r10 / r12
+    );
     // Analytic tracking at f = 12 (paper: ratio 0.014 over 6M insertions;
     // steady-state resident ratio tracks eps*2b/... within a small factor).
     let params12 = FilterParams::paper_default();
     let eps = false_positive_rate(&params12);
     assert!(r12 < eps * 3.0, "ratio {r12} far above eps {eps}");
-    assert!(heavy12 < 0.001, "heavy collisions must vanish at f=12: {heavy12}");
+    assert!(
+        heavy12 < 0.001,
+        "heavy collisions must vanish at f=12: {heavy12}"
+    );
 }
 
 /// Fig. 8 shape at reduced scale: the monitor never slows a mix down by more
@@ -87,10 +94,30 @@ fn fig4_collision_ratio_tracks_epsilon() {
 fn fig8_shape_performance_and_false_positives() {
     let instructions = 300_000;
     let config = MonitorConfig::paper_default();
-    let mix1 = run_mix_monitored(&mix_by_name("mix1").expect("known"), config, instructions, 42);
-    let mix3 = run_mix_monitored(&mix_by_name("mix3").expect("known"), config, instructions, 42);
-    let mix6 = run_mix_monitored(&mix_by_name("mix6").expect("known"), config, instructions, 42);
-    let mix7 = run_mix_monitored(&mix_by_name("mix7").expect("known"), config, instructions, 42);
+    let mix1 = run_mix_monitored(
+        &mix_by_name("mix1").expect("known"),
+        config,
+        instructions,
+        42,
+    );
+    let mix3 = run_mix_monitored(
+        &mix_by_name("mix3").expect("known"),
+        config,
+        instructions,
+        42,
+    );
+    let mix6 = run_mix_monitored(
+        &mix_by_name("mix6").expect("known"),
+        config,
+        instructions,
+        42,
+    );
+    let mix7 = run_mix_monitored(
+        &mix_by_name("mix7").expect("known"),
+        config,
+        instructions,
+        42,
+    );
 
     for run in [&mix1, &mix3, &mix6, &mix7] {
         let np = run.normalized_performance();

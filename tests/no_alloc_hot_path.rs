@@ -1,0 +1,130 @@
+//! Proves the steady-state simulation hot path is allocation-free.
+//!
+//! A counting global allocator tallies every heap allocation. After a warm-up
+//! run (which sizes the scheduler heap, the prefetch queue, the drain buffer,
+//! and the report vectors), two further equally sized monitored run windows
+//! must allocate *exactly the same* amount — i.e. the per-run constant
+//! (SimReport vectors, stats clone) is all that remains, and the per-access
+//! allocation count is zero. A paired test pins the absolute per-window
+//! number so a regression in either direction is caught.
+
+use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use cache_sim::{Access, Addr, CoreId, NullObserver, System, SystemConfig};
+use pipomonitor::{MonitorConfig, PiPoMonitor};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// relaxed atomic with no other side effects.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { SystemAlloc.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { SystemAlloc.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A monitored system under a Prime+Probe-shaped workload, so the observer
+/// path (filter queries, pEvicts, prefetch scheduling and draining) is
+/// continuously exercised — not just the benign L1-hit fast path.
+fn pingpong_system() -> System<PiPoMonitor> {
+    let config = SystemConfig::paper_default();
+    let sets = config.l3.sets as u64;
+    let ways = config.l3.ways as u64;
+    let line = config.line_size as u64;
+    let monitor = PiPoMonitor::new(MonitorConfig::paper_default()).expect("valid config");
+    let mut system = System::new(config, monitor);
+    system.set_source(
+        CoreId(0),
+        Box::new(move || Some(Access::read(Addr(0)).after(50))),
+    );
+    let mut i = 0u64;
+    system.set_source(
+        CoreId(1),
+        Box::new(move || {
+            i += 1;
+            let conflict = (i % (ways + 1) + 1) * sets * line;
+            Some(Access::read(Addr(conflict)).after(5))
+        }),
+    );
+    system
+}
+
+/// One test function (not several) so no other test thread's allocations
+/// can land inside a measurement window.
+#[test]
+fn steady_state_run_allocates_nothing_per_access() {
+    // --- Monitored system under the ping-pong workload ---
+    let mut system = pingpong_system();
+    // Warm-up: grows every reusable structure to its steady-state capacity.
+    system.run(20_000);
+
+    let before = allocations();
+    system.run(40_000); // window 1: +20k instructions per live core
+    let window1 = allocations() - before;
+    system.run(60_000); // window 2: same size
+    let window2 = allocations() - before - window1;
+
+    // Identical windows must allocate identically: the per-run constant
+    // (report vectors + stats clone) with a zero per-access component.
+    assert_eq!(
+        window1, window2,
+        "steady-state windows must have identical allocation counts"
+    );
+
+    // And that constant is small — a handful of report/stats vectors, far
+    // below one allocation per simulated access (20k+ accesses per window).
+    assert!(
+        window1 <= 8,
+        "per-run allocation constant too large: {window1} allocations \
+         (expected ~3: the SimReport vectors)"
+    );
+
+    // Sanity: the monitor path really ran (captures + prefetches happened).
+    let stats = system.observer().stats();
+    assert!(stats.captures > 0, "workload must exercise the filter");
+    assert!(
+        stats.prefetches_scheduled > 0,
+        "workload must exercise the prefetch queue"
+    );
+
+    // --- Unmonitored baseline system ---
+    let mut system = System::new(SystemConfig::paper_default(), NullObserver);
+    let mut i = 0u64;
+    system.set_source(
+        CoreId(0),
+        Box::new(move || {
+            i += 1;
+            Some(Access::read(Addr((i % 512) * 64)).after(3))
+        }),
+    );
+    system.run(20_000);
+
+    let before = allocations();
+    system.run(40_000);
+    let window1 = allocations() - before;
+    system.run(60_000);
+    let window2 = allocations() - before - window1;
+
+    assert_eq!(window1, window2);
+    assert!(window1 <= 8, "per-run constant too large: {window1}");
+}

@@ -47,7 +47,12 @@ fn fingerprint(report: &SimReport) -> Fingerprint {
         writebacks: report.stats.writebacks,
         prefetch_fills: report.stats.prefetch_fills,
         prefetch_hits: report.stats.prefetch_hits,
-        memory_fetches: report.stats.per_core.iter().map(|c| c.memory_fetches).collect(),
+        memory_fetches: report
+            .stats
+            .per_core
+            .iter()
+            .map(|c| c.memory_fetches)
+            .collect(),
         l1_hits: report.stats.per_core.iter().map(|c| c.l1.hits).collect(),
         l3_hits: report.stats.per_core.iter().map(|c| c.l3.hits).collect(),
         dram_reads: report.dram_reads,
@@ -61,7 +66,10 @@ fn run_monitored() -> (Fingerprint, MonitorStats) {
     let monitor = PiPoMonitor::new(MonitorConfig::paper_default()).expect("valid config");
     let mut system = System::new(SystemConfig::paper_default(), monitor);
     for (core, bench) in mix.benchmarks.iter().enumerate() {
-        system.set_source(CoreId(core), Box::new(ProfileSource::new(bench, core, SEED)));
+        system.set_source(
+            CoreId(core),
+            Box::new(ProfileSource::new(bench, core, SEED)),
+        );
     }
     let report = system.run(INSTRUCTIONS);
     (fingerprint(&report), *system.observer().stats())
@@ -100,7 +108,10 @@ fn run_baseline() -> Fingerprint {
     let mix = mix_by_name(MIX).expect("mix exists");
     let mut system = System::new(SystemConfig::paper_default(), NullObserver);
     for (core, bench) in mix.benchmarks.iter().enumerate() {
-        system.set_source(CoreId(core), Box::new(ProfileSource::new(bench, core, SEED)));
+        system.set_source(
+            CoreId(core),
+            Box::new(ProfileSource::new(bench, core, SEED)),
+        );
     }
     fingerprint(&system.run(INSTRUCTIONS))
 }
@@ -174,7 +185,10 @@ fn pingpong_run_matches_pre_refactor_golden() {
     // The protection cycle must actually fire for this golden to mean
     // anything.
     assert!(stats.captures > 0, "workload must trigger captures");
-    assert!(stats.prefetches_scheduled > 0, "prefetches must be scheduled");
+    assert!(
+        stats.prefetches_scheduled > 0,
+        "prefetches must be scheduled"
+    );
     assert!(fp.prefetch_fills > 0, "prefetches must reach the LLC");
     let golden = Fingerprint {
         completion_cycles: vec![57_303, 1_188_360, 0, 0],

@@ -110,9 +110,9 @@ proptest! {
             h.access(CoreId(s.core), Addr(s.addr), kind, t as u64, &mut obs);
             per_core[s.core] += 1;
         }
-        for core in 0..2 {
+        for (core, &expected) in per_core.iter().enumerate() {
             let stats = h.stats().core(CoreId(core));
-            prop_assert_eq!(stats.l1.accesses(), per_core[core]);
+            prop_assert_eq!(stats.l1.accesses(), expected);
         }
         prop_assert_eq!(h.stats().total_memory_fetches(), h.dram().reads());
     }

@@ -44,7 +44,10 @@ fn spec_mpki_ordering_survives_simulation() {
 fn mpki_is_reproducible() {
     let a = measured_mpki("gcc", 150_000);
     let b = measured_mpki("gcc", 150_000);
-    assert!((a - b).abs() < 1e-12, "identical seeds must reproduce: {a} vs {b}");
+    assert!(
+        (a - b).abs() < 1e-12,
+        "identical seeds must reproduce: {a} vs {b}"
+    );
 }
 
 #[test]
@@ -78,10 +81,7 @@ fn four_core_contention_increases_misses() {
 
     let mut shared = System::new(SystemConfig::paper_default(), NullObserver);
     for core in 0..4 {
-        shared.set_source(
-            CoreId(core),
-            Box::new(ProfileSource::new(profile, core, 7)),
-        );
+        shared.set_source(CoreId(core), Box::new(ProfileSource::new(profile, core, 7)));
     }
     let shared_report = shared.run(n);
     let shared_misses = shared_report.stats.core(CoreId(0)).l3.misses;
