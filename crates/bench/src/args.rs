@@ -1,0 +1,165 @@
+//! Shared command-line parsing for the figure harness binaries.
+//!
+//! Every binary accepts the same surface:
+//!
+//! ```text
+//! <binary> [scale] [--json PATH] [--sequential | --threads N]
+//! ```
+//!
+//! * `scale` — one optional unsigned integer whose meaning is per-binary
+//!   (instructions per core, probe windows, trials, insertions, ...). Each
+//!   binary's doc comment names it.
+//! * `--json PATH` — additionally write machine-readable results to `PATH`.
+//! * `--sequential` — evaluate sweep cells one at a time (the pre-engine
+//!   behaviour; per-cell results are bit-identical either way).
+//! * `--threads N` — evaluate sweep cells on `N` worker threads. The default
+//!   is one thread per host core.
+//!
+//! Unknown flags and unparsable values are reported on stderr and exit with
+//! status 2 — they are never silently swallowed into a default.
+
+use crate::sweep::ExecMode;
+
+/// Usage string printed alongside argument errors.
+pub const USAGE: &str = "usage: <binary> [scale] [--json PATH] [--sequential | --threads N]";
+
+/// Parsed harness arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HarnessArgs {
+    /// The optional positional scale argument (per-binary meaning).
+    pub scale: Option<u64>,
+    /// Where to write JSON results, if requested.
+    pub json: Option<String>,
+    /// How to execute sweep cells.
+    pub mode: ExecMode,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args`, printing an error and exiting with status 2
+    /// on an unknown flag or unparsable value.
+    #[must_use]
+    pub fn parse() -> Self {
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(message) => {
+                eprintln!("error: {message}");
+                eprintln!("{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an explicit argument list (testable core of [`parse`](Self::parse)).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for an unknown flag, a missing flag
+    /// value, an unparsable number, or a duplicate positional argument.
+    pub fn try_parse(args: impl IntoIterator<Item = String>) -> Result<Self, String> {
+        let mut out = Self {
+            scale: None,
+            json: None,
+            mode: ExecMode::host_default(),
+        };
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--json" => {
+                    out.json = Some(it.next().ok_or("--json needs a file path")?);
+                }
+                "--sequential" => out.mode = ExecMode::Sequential,
+                "--threads" => {
+                    let raw = it.next().ok_or("--threads needs a thread count")?;
+                    let threads: usize = raw.parse().map_err(|_| {
+                        format!("--threads expects a positive integer, got {raw:?}")
+                    })?;
+                    if threads == 0 {
+                        return Err("--threads expects a positive integer, got 0".into());
+                    }
+                    out.mode = ExecMode::with_threads(threads);
+                }
+                flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
+                positional => {
+                    if out.scale.is_some() {
+                        return Err(format!("unexpected extra argument {positional:?}"));
+                    }
+                    out.scale = Some(positional.parse().map_err(|_| {
+                        format!("unparsable scale argument {positional:?} (expected an unsigned integer)")
+                    })?);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// The scale argument, or `default` when absent.
+    #[must_use]
+    pub fn scale_or(&self, default: u64) -> u64 {
+        self.scale.unwrap_or(default)
+    }
+
+    /// For binaries with no scale parameter: rejects a positional argument
+    /// (exit 2) instead of silently ignoring it — same contract as the rest
+    /// of the parser.
+    pub fn expect_no_scale(&self) {
+        if let Some(scale) = self.scale {
+            eprintln!("error: this binary takes no scale argument (got {scale})");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+
+    /// The scale argument read as instructions per core
+    /// ([`DEFAULT_INSTRUCTIONS`](crate::DEFAULT_INSTRUCTIONS) when absent).
+    #[must_use]
+    pub fn instructions(&self) -> u64 {
+        self.scale_or(crate::DEFAULT_INSTRUCTIONS)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<HarnessArgs, String> {
+        HarnessArgs::try_parse(args.iter().map(ToString::to_string))
+    }
+
+    #[test]
+    fn empty_args_use_defaults() {
+        let args = parse(&[]).expect("valid");
+        assert_eq!(args.scale, None);
+        assert_eq!(args.json, None);
+        assert_eq!(args.instructions(), crate::DEFAULT_INSTRUCTIONS);
+        assert_eq!(args.scale_or(17), 17);
+    }
+
+    #[test]
+    fn positional_scale_and_flags() {
+        let args = parse(&["50000", "--json", "out.json", "--threads", "3"]).expect("valid");
+        assert_eq!(args.scale, Some(50_000));
+        assert_eq!(args.instructions(), 50_000);
+        assert_eq!(args.json.as_deref(), Some("out.json"));
+        assert_eq!(args.mode.threads(), 3);
+        assert_eq!(
+            parse(&["--sequential"]).expect("valid").mode,
+            ExecMode::Sequential
+        );
+    }
+
+    #[test]
+    fn unparsable_scale_is_an_error_not_a_default() {
+        let err = parse(&["2e6"]).unwrap_err();
+        assert!(err.contains("2e6"), "message names the argument: {err}");
+        assert!(parse(&["-5"]).is_err(), "negative numbers look like flags");
+    }
+
+    #[test]
+    fn bad_flags_are_errors() {
+        assert!(parse(&["--jsno", "x"]).unwrap_err().contains("--jsno"));
+        assert!(parse(&["--json"]).unwrap_err().contains("file path"));
+        assert!(parse(&["--threads", "zero"]).unwrap_err().contains("zero"));
+        assert!(parse(&["--threads", "0"]).unwrap_err().contains('0'));
+        assert!(parse(&["1", "2"]).unwrap_err().contains("extra"));
+    }
+}

@@ -6,13 +6,19 @@
 //! to LRU. The monitor's detection is replacement-agnostic because it
 //! watches memory traffic, not set state.
 //!
-//! Run: `cargo run --release -p pipo-bench --bin ablation_replacement [instructions]`
+//! Both grids (three attack cells, three monitored-mix cells) run through
+//! the sweep engine.
+//!
+//! Run: `cargo run --release -p pipo-bench --bin ablation_replacement -- \
+//!       [instructions] [--json PATH] [--sequential | --threads N]`
 
 use cache_sim::{Hierarchy, NullObserver, Replacement, SystemConfig};
 use pipo_attacks::{AttackConfig, PrimeProbeAttack, SquareAndMultiply, VictimLayout};
-use pipo_bench::{instructions_from_args, run_mix_monitored_on};
+use pipo_bench::{emit_json, run_cells, sweep_document, HarnessArgs, Json, MixCell, Sweep};
 use pipo_workloads::all_mixes;
 use pipomonitor::{MonitorConfig, PiPoMonitor};
+
+const SEED: u64 = 42;
 
 fn attack_under(replacement: Replacement) -> (f64, f64) {
     let config = AttackConfig {
@@ -43,37 +49,65 @@ fn attack_under(replacement: Replacement) -> (f64, f64) {
 }
 
 fn main() {
+    let args = HarnessArgs::parse();
     let policies = [
         ("lru", Replacement::Lru),
         ("tree-plru", Replacement::TreePlru),
         ("random", Replacement::Random { seed: 5 }),
     ];
 
+    let attack_results = run_cells(args.mode, &policies, |_, &(_, policy)| attack_under(policy));
+
     println!("replacement ablation — attack channel distinguishability");
     println!("{:>10} {:>14} {:>14}", "policy", "baseline", "with monitor");
-    for (name, policy) in policies {
-        let (base, defended) = attack_under(policy);
+    for ((name, _), (base, defended)) in policies.iter().zip(&attack_results) {
         println!("{name:>10} {base:>14.3} {defended:>14.3}");
     }
 
     // Monitor false positives under each policy (mix1, scaled run).
-    let instructions = instructions_from_args().min(500_000);
+    let instructions = args.instructions().min(500_000);
     println!("\nmonitor false positives on mix1 ({instructions} instructions/core)");
     println!("{:>10} {:>10} {:>12}", "policy", "fp/Mi", "norm perf");
+    let mut sweep = Sweep::new();
     for (name, policy) in policies {
         let mut cfg = SystemConfig::paper_default();
         cfg.replacement = policy;
-        let run = run_mix_monitored_on(
-            &all_mixes()[0],
-            cfg,
-            MonitorConfig::paper_default(),
-            instructions,
-            42,
+        sweep.push(
+            MixCell::new(
+                format!("{name}/mix1"),
+                all_mixes()[0],
+                MonitorConfig::paper_default(),
+                instructions,
+                SEED,
+            )
+            .on_system(cfg),
         );
+    }
+    let mix_runs = sweep.run(args.mode);
+    for ((name, _), run) in policies.iter().zip(&mix_runs) {
         println!(
             "{name:>10} {:>10.1} {:>12.4}",
             run.false_positives_per_mi(),
             run.normalized_performance()
         );
     }
+
+    let cells = policies
+        .iter()
+        .zip(&attack_results)
+        .zip(&mix_runs)
+        .map(|(((name, _), (base, defended)), run)| {
+            run.to_json()
+                .field("policy", *name)
+                .field("attack_distinguishability_baseline", *base)
+                .field("attack_distinguishability_monitored", *defended)
+        })
+        .collect();
+    let meta = Json::object()
+        .field("instructions_per_core", instructions)
+        .field("seed", SEED);
+    emit_json(
+        args.json.as_deref(),
+        &sweep_document("ablation_replacement", args.mode, meta, cells),
+    );
 }

@@ -6,11 +6,16 @@
 //! more storage than PiPoMonitor, and "the directory itself is vulnerable to
 //! reverse attacks using eviction sets to evict target records".
 //!
-//! Run: `cargo run --release -p pipo-bench --bin baseline_stateful`
+//! The two flushing attacks (directory table vs PiPoMonitor) are two
+//! sweep-engine cells; the storage rows are pure arithmetic.
+//!
+//! Run: `cargo run --release -p pipo-bench --bin baseline_stateful -- \
+//!       [--json PATH] [--sequential | --threads N]`
 
 use auto_cuckoo::{FilterParams, StorageOverhead};
 use cache_sim::{Hierarchy, LineAddr, SystemConfig};
 use pipo_attacks::{AttackConfig, PrimeProbeAttack, SquareAndMultiply, TableFlusher, VictimLayout};
+use pipo_bench::{emit_json, run_cells, sweep_document, HarnessArgs, Json};
 use pipomonitor::{DirectoryMonitor, DirectoryMonitorConfig, MonitorConfig, PiPoMonitor};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -18,39 +23,59 @@ use rand::{Rng, SeedableRng};
 const WINDOWS: usize = 150;
 const LINE_ADDR_BITS: u32 = 34; // 40-bit physical addresses, 64-byte lines
 
-fn main() {
-    storage_comparison();
-    println!();
-    flushing_comparison();
+struct StorageRow {
+    structure: &'static str,
+    entries: u64,
+    kib: f64,
+    relative_to_llc: f64,
 }
 
-fn storage_comparison() {
-    println!("storage comparison (4 MB LLC, 40-bit physical addresses)");
-    println!(
-        "{:>34} {:>10} {:>10} {:>10}",
-        "structure", "entries", "KiB", "% of LLC"
+fn main() {
+    let args = HarnessArgs::parse();
+    args.expect_no_scale();
+    let storage = storage_rows();
+    print_storage(&storage);
+    println!();
+    let flushing = run_cells(args.mode, &["directory", "pipomonitor"], |_, defense| {
+        flushing_distinguishability(defense)
+    });
+    print_flushing(&flushing);
+
+    let cells = ["directory", "pipomonitor"]
+        .iter()
+        .zip(&flushing)
+        .map(|(defense, &disting)| {
+            Json::object()
+                .field("defense", *defense)
+                .field("distinguishability", disting)
+                .field("bypassed", disting > 0.9)
+        })
+        .collect();
+    let storage_json: Vec<Json> = storage
+        .iter()
+        .map(|row| {
+            Json::object()
+                .field("structure", row.structure)
+                .field("entries", row.entries)
+                .field("kib", row.kib)
+                .field("relative_to_llc", row.relative_to_llc)
+        })
+        .collect();
+    let meta = Json::object()
+        .field("probe_windows", WINDOWS)
+        .field("flush_lines_per_window", 16u64)
+        .field("storage", storage_json);
+    emit_json(
+        args.json.as_deref(),
+        &sweep_document("baseline_stateful", args.mode, meta, cells),
     );
+}
+
+fn storage_rows() -> Vec<StorageRow> {
     let llc_bits = (4u64 << 20) * 8;
-
     let filter = StorageOverhead::for_filter(&FilterParams::paper_default(), 4 << 20);
-    println!(
-        "{:>34} {:>10} {:>10.1} {:>10.3}",
-        "Auto-Cuckoo filter (1024x8, f=12)",
-        filter.entries,
-        filter.total_kib,
-        filter.relative_to_llc * 100.0
-    );
-
     let table = DirectoryMonitorConfig::paper_comparable();
     let table_bits = table.storage_bits(LINE_ADDR_BITS);
-    println!(
-        "{:>34} {:>10} {:>10.1} {:>10.3}",
-        "tag table, same capacity (1024x8)",
-        table.entries(),
-        table_bits as f64 / 8.0 / 1024.0,
-        table_bits as f64 / llc_bits as f64 * 100.0
-    );
-
     let full = DirectoryMonitorConfig {
         sets: 65_536,
         ways: 1,
@@ -58,76 +83,113 @@ fn storage_comparison() {
         prefetch_delay: 50,
     };
     let full_bits = full.storage_bits(LINE_ADDR_BITS);
+    vec![
+        StorageRow {
+            structure: "Auto-Cuckoo filter (1024x8, f=12)",
+            entries: filter.entries,
+            kib: filter.total_kib,
+            relative_to_llc: filter.relative_to_llc,
+        },
+        StorageRow {
+            structure: "tag table, same capacity (1024x8)",
+            entries: table.entries() as u64,
+            kib: table_bits as f64 / 8.0 / 1024.0,
+            relative_to_llc: table_bits as f64 / llc_bits as f64,
+        },
+        StorageRow {
+            structure: "directory extension (per LLC line)",
+            entries: full.entries() as u64,
+            kib: full_bits as f64 / 8.0 / 1024.0,
+            relative_to_llc: full_bits as f64 / llc_bits as f64,
+        },
+    ]
+}
+
+fn print_storage(rows: &[StorageRow]) {
+    println!("storage comparison (4 MB LLC, 40-bit physical addresses)");
     println!(
-        "{:>34} {:>10} {:>10.1} {:>10.3}",
-        "directory extension (per LLC line)",
-        full.entries(),
-        full_bits as f64 / 8.0 / 1024.0,
-        full_bits as f64 / llc_bits as f64 * 100.0
+        "{:>34} {:>10} {:>10} {:>10}",
+        "structure", "entries", "KiB", "% of LLC"
     );
+    for row in rows {
+        println!(
+            "{:>34} {:>10} {:>10.1} {:>10.3}",
+            row.structure,
+            row.entries,
+            row.kib,
+            row.relative_to_llc * 100.0
+        );
+    }
     println!("paper: filter = 15 KB (0.37%), an order of magnitude below stateful prior work");
 }
 
-fn flushing_comparison() {
+/// Runs the Prime+Probe attack with a per-window record-flushing budget
+/// against one defense and returns the channel distinguishability.
+fn flushing_distinguishability(defense: &str) -> f64 {
     let config = AttackConfig {
         iterations: WINDOWS,
         ..AttackConfig::paper_default()
     };
     let key_bits = WINDOWS * config.bits_per_window;
 
-    // --- Directory baseline under deterministic record flushing ---
     let mut hierarchy = Hierarchy::new(SystemConfig::paper_default());
     let victim = SquareAndMultiply::with_random_key(VictimLayout::default_layout(), key_bits, 77);
     let layout = *victim.layout();
-    let dir_config = DirectoryMonitorConfig::paper_comparable();
-    let mut dir_monitor = DirectoryMonitor::new(dir_config);
     let square_llc = hierarchy.llc_set_of(layout.square);
     let multiply_llc = hierarchy.llc_set_of(layout.multiply);
     let llc_sets = hierarchy.llc_sets() as u64;
-    let avoid = move |l: LineAddr| {
-        let set = (l.0 % llc_sets) as usize;
-        set == square_llc || set == multiply_llc
-    };
-    let mut flush_sq = TableFlusher::new(&dir_config, layout.square.line(64), 0x60_0000_0000);
-    let mut flush_mu = TableFlusher::new(&dir_config, layout.multiply.line(64), 0x68_0000_0000);
-    let outcome = PrimeProbeAttack::new(config).run_with_flusher(
-        &mut hierarchy,
-        victim,
-        &mut dir_monitor,
-        &mut |_| {
-            let mut v = flush_sq.next_round(avoid);
-            v.extend(flush_mu.next_round(avoid));
-            v
-        },
-    );
-    let dir_recovery = outcome.trace.recover_key();
 
-    // --- PiPoMonitor under the same per-window flushing budget ---
-    let mut hierarchy = Hierarchy::new(SystemConfig::paper_default());
-    let victim = SquareAndMultiply::with_random_key(VictimLayout::default_layout(), key_bits, 77);
-    let mut pipo = PiPoMonitor::new(MonitorConfig::paper_default()).expect("valid configuration");
-    let mut rng = StdRng::seed_from_u64(13);
-    let outcome = PrimeProbeAttack::new(config).run_with_flusher(
-        &mut hierarchy,
-        victim,
-        &mut pipo,
-        &mut |_| {
-            // Best effort against the filter: a random flood of the same
-            // size (16 fresh lines/window; deterministic targeting is
-            // impossible and expected eviction needs b*l = 8192 fills).
-            let mut v = Vec::with_capacity(16);
-            while v.len() < 16 {
-                let line = (rng.gen::<u64>() >> 8) | (1 << 40);
-                let set = (line % llc_sets) as usize;
-                if set != square_llc && set != multiply_llc {
-                    v.push(cache_sim::Addr(line * 64));
+    if defense == "directory" {
+        // --- Directory baseline under deterministic record flushing ---
+        let dir_config = DirectoryMonitorConfig::paper_comparable();
+        let mut dir_monitor = DirectoryMonitor::new(dir_config);
+        let avoid = move |l: LineAddr| {
+            let set = (l.0 % llc_sets) as usize;
+            set == square_llc || set == multiply_llc
+        };
+        let mut flush_sq = TableFlusher::new(&dir_config, layout.square.line(64), 0x60_0000_0000);
+        let mut flush_mu = TableFlusher::new(&dir_config, layout.multiply.line(64), 0x68_0000_0000);
+        let outcome = PrimeProbeAttack::new(config).run_with_flusher(
+            &mut hierarchy,
+            victim,
+            &mut dir_monitor,
+            &mut |_| {
+                let mut v = flush_sq.next_round(avoid);
+                v.extend(flush_mu.next_round(avoid));
+                v
+            },
+        );
+        outcome.trace.recover_key().distinguishability
+    } else {
+        // --- PiPoMonitor under the same per-window flushing budget ---
+        let mut pipo =
+            PiPoMonitor::new(MonitorConfig::paper_default()).expect("valid configuration");
+        let mut rng = StdRng::seed_from_u64(13);
+        let outcome = PrimeProbeAttack::new(config).run_with_flusher(
+            &mut hierarchy,
+            victim,
+            &mut pipo,
+            &mut |_| {
+                // Best effort against the filter: a random flood of the same
+                // size (16 fresh lines/window; deterministic targeting is
+                // impossible and expected eviction needs b*l = 8192 fills).
+                let mut v = Vec::with_capacity(16);
+                while v.len() < 16 {
+                    let line = (rng.gen::<u64>() >> 8) | (1 << 40);
+                    let set = (line % llc_sets) as usize;
+                    if set != square_llc && set != multiply_llc {
+                        v.push(cache_sim::Addr(line * 64));
+                    }
                 }
-            }
-            v
-        },
-    );
-    let pipo_recovery = outcome.trace.recover_key();
+                v
+            },
+        );
+        outcome.trace.recover_key().distinguishability
+    }
+}
 
+fn print_flushing(results: &[f64]) {
+    let (dir, pipo) = (results[0], results[1]);
     println!("defense-aware record flushing (16 fresh flush lines per 5000-cycle window)");
     println!(
         "{:>34} {:>20} {:>12}",
@@ -136,22 +198,14 @@ fn flushing_comparison() {
     println!(
         "{:>34} {:>20.3} {:>12}",
         "directory table (deterministic)",
-        dir_recovery.distinguishability,
-        if dir_recovery.distinguishability > 0.9 {
-            "YES"
-        } else {
-            "no"
-        }
+        dir,
+        if dir > 0.9 { "YES" } else { "no" }
     );
     println!(
         "{:>34} {:>20.3} {:>12}",
         "Auto-Cuckoo filter (PiPoMonitor)",
-        pipo_recovery.distinguishability,
-        if pipo_recovery.distinguishability > 0.9 {
-            "YES"
-        } else {
-            "no"
-        }
+        pipo,
+        if pipo > 0.9 { "YES" } else { "no" }
     );
     println!("\npaper: deterministic record eviction defeats directory-based stateful defenses;");
     println!("autonomic deletion raises the expected flush cost to b*l = 8192 accesses/window");

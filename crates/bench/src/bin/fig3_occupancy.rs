@@ -5,65 +5,92 @@
 //! overlap, are identical below ~9 K insertions, and reach 100 % by ~12.5 K
 //! insertions for the l=1024, b=8 configuration — even with MNK = 2.
 //!
-//! Run: `cargo run --release -p pipo-bench --bin fig3_occupancy`
+//! Each MNK curve is one sweep-engine cell (plus one cell for the paper's
+//! 12.5 K spot check), so the curves fill in parallel.
+//!
+//! Run: `cargo run --release -p pipo-bench --bin fig3_occupancy -- \
+//!       [--json PATH] [--sequential | --threads N]`
 
 use auto_cuckoo::{AutoCuckooFilter, FilterParams};
+use pipo_bench::{emit_json, run_cells, sweep_document, HarnessArgs, Json};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+const MNKS: [u32; 5] = [0, 1, 2, 4, 8];
+const SEED: u64 = 3;
+
+/// Filter occupancy after each checkpoint's worth of random insertions.
+fn occupancy_curve(mnk: u32, checkpoints: &[u64]) -> Vec<f64> {
+    let params = FilterParams::builder()
+        .max_kicks(mnk)
+        .build()
+        .expect("valid parameters");
+    let mut filter = AutoCuckooFilter::new(params).expect("valid parameters");
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut curve = Vec::with_capacity(checkpoints.len());
+    let mut inserted = 0u64;
+    for &cp in checkpoints {
+        while inserted < cp {
+            // Random addresses from the whole memory address space.
+            filter.query(rng.gen::<u64>() | 1);
+            inserted += 1;
+        }
+        curve.push(filter.occupancy());
+    }
+    curve
+}
+
 fn main() {
-    let mnks = [0u32, 1, 2, 4, 8];
+    let args = HarnessArgs::parse();
+    args.expect_no_scale();
     let checkpoints: Vec<u64> = (1..=16).map(|k| k * 1000).collect();
 
     println!("Fig. 3 — Auto-Cuckoo filter occupancy vs insertions (l=1024, b=8, f=12)");
     print!("{:>12}", "insertions");
-    for mnk in mnks {
+    for mnk in MNKS {
         print!("  MNK={mnk:<4}");
     }
     println!();
 
-    let mut curves: Vec<Vec<f64>> = Vec::new();
-    for mnk in mnks {
-        let params = FilterParams::builder()
-            .max_kicks(mnk)
-            .build()
-            .expect("valid parameters");
-        let mut filter = AutoCuckooFilter::new(params).expect("valid parameters");
-        let mut rng = StdRng::seed_from_u64(3);
-        let mut curve = Vec::new();
-        let mut inserted = 0u64;
-        for &cp in &checkpoints {
-            while inserted < cp {
-                // Random addresses from the whole memory address space.
-                filter.query(rng.gen::<u64>() | 1);
-                inserted += 1;
-            }
-            curve.push(filter.occupancy());
-        }
-        curves.push(curve);
-    }
+    // One cell per MNK curve, plus the paper's 12.5 K spot check at MNK=2.
+    let mut cells: Vec<(u32, Vec<u64>)> =
+        MNKS.iter().map(|&mnk| (mnk, checkpoints.clone())).collect();
+    cells.push((2, vec![12_500]));
+    let curves = run_cells(args.mode, &cells, |_, (mnk, cps)| {
+        occupancy_curve(*mnk, cps)
+    });
 
     for (row, cp) in checkpoints.iter().enumerate() {
         print!("{cp:>12}");
-        for curve in &curves {
+        for curve in &curves[..MNKS.len()] {
             print!("  {:>7.4}", curve[row]);
         }
         println!();
     }
 
-    // Shape summary, mirroring the paper's observations.
-    let at_12_5k = {
-        let params = FilterParams::builder()
-            .max_kicks(2)
-            .build()
-            .expect("valid parameters");
-        let mut filter = AutoCuckooFilter::new(params).expect("valid parameters");
-        let mut rng = StdRng::seed_from_u64(3);
-        for _ in 0..12_500 {
-            filter.query(rng.gen::<u64>() | 1);
-        }
-        filter.occupancy()
-    };
+    let at_12_5k = curves[MNKS.len()][0];
     println!();
     println!("occupancy at 12.5K insertions with MNK=2: {at_12_5k:.4} (paper: 1.00)");
+
+    let json_cells = cells
+        .iter()
+        .zip(&curves)
+        .map(|((mnk, cps), curve)| {
+            Json::object()
+                .field("mnk", *mnk)
+                .field(
+                    "insertions",
+                    cps.iter().map(|&cp| Json::UInt(cp)).collect::<Vec<_>>(),
+                )
+                .field(
+                    "occupancy",
+                    curve.iter().map(|&o| Json::Float(o)).collect::<Vec<_>>(),
+                )
+        })
+        .collect();
+    let meta = Json::object().field("seed", SEED);
+    emit_json(
+        args.json.as_deref(),
+        &sweep_document("fig3_occupancy", args.mode, meta, json_cells),
+    );
 }

@@ -6,17 +6,31 @@
 //! f = 12 the collision-entry ratio is 0.014 with ε = 0.004, and entries
 //! holding more than two collided addresses approach zero.
 //!
-//! Run: `cargo run --release -p pipo-bench --bin fig4_collisions [insertions]`
+//! Each fingerprint width is one sweep-engine cell (6 M insertions each, so
+//! the fan-out dominates this binary's wall clock).
+//!
+//! Run: `cargo run --release -p pipo-bench --bin fig4_collisions -- \
+//!       [insertions] [--json PATH] [--sequential | --threads N]`
 
 use auto_cuckoo::{false_positive_rate, AutoCuckooFilter, FilterParams};
+use pipo_bench::{emit_json, run_cells, sweep_document, HarnessArgs, Json};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+const WIDTHS: [u32; 9] = [8, 9, 10, 11, 12, 13, 14, 15, 16];
+const SEED: u64 = 41;
+
+struct CollisionResult {
+    ratio_collided: f64,
+    ratio_exactly_two: f64,
+    ratio_heavy: f64,
+    eps_analytic: f64,
+    approx: f64,
+}
+
 fn main() {
-    let insertions: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(6_000_000);
+    let args = HarnessArgs::parse();
+    let insertions = args.scale_or(6_000_000);
 
     println!(
         "Fig. 4 — fingerprint-collision entry ratios after {insertions} insertions (l=1024, b=8)"
@@ -26,26 +40,53 @@ fn main() {
         "f", "ratio>=2", "ratio=2", "ratio>=3", "eps_analytic", "2b/2^f"
     );
 
-    for f in 8..=16u32 {
+    let results = run_cells(args.mode, &WIDTHS, |_, &f| {
         let params = FilterParams::builder()
             .fingerprint_bits(f)
             .build()
             .expect("valid parameters");
         let mut filter = AutoCuckooFilter::new(params).expect("valid parameters");
-        let mut rng = StdRng::seed_from_u64(41);
+        let mut rng = StdRng::seed_from_u64(SEED);
         for _ in 0..insertions {
             filter.query(rng.gen::<u64>() | 1);
         }
         let census = filter.census();
-        let two = census.entries_with(2) as f64 / census.total_entries().max(1) as f64;
+        CollisionResult {
+            ratio_collided: census.collision_ratio(),
+            ratio_exactly_two: census.entries_with(2) as f64 / census.total_entries().max(1) as f64,
+            ratio_heavy: census.heavy_collision_ratio(),
+            eps_analytic: false_positive_rate(&params),
+            approx: 16.0 / f64::from(1u32 << f),
+        }
+    });
+
+    for (&f, r) in WIDTHS.iter().zip(&results) {
         println!(
-            "{f:>4} {:>12.5} {two:>12.5} {:>12.5} {:>12.5} {:>12.5}",
-            census.collision_ratio(),
-            census.heavy_collision_ratio(),
-            false_positive_rate(&params),
-            16.0 / f64::from(1u32 << f),
+            "{f:>4} {:>12.5} {:>12.5} {:>12.5} {:>12.5} {:>12.5}",
+            r.ratio_collided, r.ratio_exactly_two, r.ratio_heavy, r.eps_analytic, r.approx
         );
     }
     println!();
     println!("paper at f=12: collision ratio 0.014, eps 0.004, >2-address entries ~ 0");
+
+    let cells = WIDTHS
+        .iter()
+        .zip(&results)
+        .map(|(&f, r)| {
+            Json::object()
+                .field("fingerprint_bits", f)
+                .field("ratio_collided", r.ratio_collided)
+                .field("ratio_exactly_two", r.ratio_exactly_two)
+                .field("ratio_heavy", r.ratio_heavy)
+                .field("eps_analytic", r.eps_analytic)
+                .field("approx_2b_over_2f", r.approx)
+        })
+        .collect();
+    let meta = Json::object()
+        .field("insertions", insertions)
+        .field("seed", SEED);
+    emit_json(
+        args.json.as_deref(),
+        &sweep_document("fig4_collisions", args.mode, meta, cells),
+    );
 }

@@ -6,53 +6,102 @@
 //! attacker observes accesses regardless of victim behaviour and the genuine
 //! sequence cannot be obtained.
 //!
-//! Run: `cargo run --release -p pipo-bench --bin fig6_attack [windows]`
+//! The two panels are two sweep-engine cells (baseline and defended attack
+//! runs are independent simulations).
+//!
+//! Run: `cargo run --release -p pipo-bench --bin fig6_attack -- \
+//!       [windows] [--json PATH] [--sequential | --threads N]`
 
 use cache_sim::{Hierarchy, NullObserver, SystemConfig};
 use pipo_attacks::{AttackConfig, PrimeProbeAttack, SquareAndMultiply, VictimLayout};
-use pipomonitor::{MonitorConfig, PiPoMonitor};
+use pipo_bench::{emit_json, run_cells, sweep_document, HarnessArgs, Json};
+use pipomonitor::{MonitorConfig, MonitorStats, PiPoMonitor};
+
+const SEED: u64 = 2021;
+
+struct PanelResult {
+    rendered: String,
+    accuracy: f64,
+    distinguishability: f64,
+    monitor: Option<MonitorStats>,
+}
 
 fn main() {
-    let windows: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(100);
+    let args = HarnessArgs::parse();
+    let windows = args.scale_or(100) as usize;
     let config = AttackConfig {
         iterations: windows,
         ..AttackConfig::paper_default()
     };
     let key_bits = windows * config.bits_per_window;
-    let seed = 2021;
+
+    let panels = ["baseline", "pipomonitor"];
+    let results = run_cells(args.mode, &panels, |_, panel| {
+        let mut hierarchy = Hierarchy::new(SystemConfig::paper_default());
+        let victim =
+            SquareAndMultiply::with_random_key(VictimLayout::default_layout(), key_bits, SEED);
+        let attack = PrimeProbeAttack::new(config);
+        let (outcome, monitor_stats) = if *panel == "baseline" {
+            let mut baseline = NullObserver;
+            (attack.run(&mut hierarchy, victim, &mut baseline), None)
+        } else {
+            let mut monitor =
+                PiPoMonitor::new(MonitorConfig::paper_default()).expect("valid configuration");
+            let outcome = attack.run(&mut hierarchy, victim, &mut monitor);
+            (outcome, Some(*monitor.stats()))
+        };
+        let recovery = outcome.trace.recover_key();
+        PanelResult {
+            rendered: outcome.trace.render(),
+            accuracy: recovery.accuracy,
+            distinguishability: recovery.distinguishability,
+            monitor: monitor_stats,
+        }
+    });
 
     println!("Fig. 6(a) — baseline: attacker-extracted usage pattern");
-    let mut hierarchy = Hierarchy::new(SystemConfig::paper_default());
-    let victim = SquareAndMultiply::with_random_key(VictimLayout::default_layout(), key_bits, seed);
-    let mut baseline = NullObserver;
-    let outcome = PrimeProbeAttack::new(config).run(&mut hierarchy, victim, &mut baseline);
-    println!("{}", outcome.trace.render());
-    let r = outcome.trace.recover_key();
+    println!("{}", results[0].rendered);
     println!(
         "sequence recovery accuracy {:.3}, channel distinguishability {:.3}\n",
-        r.accuracy, r.distinguishability
+        results[0].accuracy, results[0].distinguishability
     );
 
     println!("Fig. 6(b) — PiPoMonitor deployed");
-    let mut hierarchy = Hierarchy::new(SystemConfig::paper_default());
-    let victim = SquareAndMultiply::with_random_key(VictimLayout::default_layout(), key_bits, seed);
-    let mut monitor =
-        PiPoMonitor::new(MonitorConfig::paper_default()).expect("valid configuration");
-    let outcome = PrimeProbeAttack::new(config).run(&mut hierarchy, victim, &mut monitor);
-    println!("{}", outcome.trace.render());
-    let r = outcome.trace.recover_key();
+    println!("{}", results[1].rendered);
     println!(
         "sequence recovery accuracy {:.3}, channel distinguishability {:.3}",
-        r.accuracy, r.distinguishability
+        results[1].accuracy, results[1].distinguishability
     );
-    let stats = monitor.stats();
+    let stats = results[1].monitor.expect("monitored panel has stats");
     println!(
         "monitor: {} captures, {} prefetches scheduled, {} suppressed",
         stats.captures, stats.prefetches_scheduled, stats.prefetches_suppressed
     );
     println!();
     println!("paper: (a) operation sequence readable; (b) attacker always observes accesses");
+
+    let cells = panels
+        .iter()
+        .zip(&results)
+        .map(|(panel, r)| {
+            let mut cell = Json::object()
+                .field("panel", *panel)
+                .field("recovery_accuracy", r.accuracy)
+                .field("distinguishability", r.distinguishability);
+            if let Some(stats) = &r.monitor {
+                cell = cell
+                    .field("captures", stats.captures)
+                    .field("prefetches_scheduled", stats.prefetches_scheduled)
+                    .field("prefetches_suppressed", stats.prefetches_suppressed);
+            }
+            cell
+        })
+        .collect();
+    let meta = Json::object()
+        .field("probe_windows", windows)
+        .field("seed", SEED);
+    emit_json(
+        args.json.as_deref(),
+        &sweep_document("fig6_attack", args.mode, meta, cells),
+    );
 }

@@ -8,15 +8,26 @@
 //!   instructions. Paper: mix1 ≈ 97 and mix7 ≈ 71 are the largest;
 //!   mix3/mix6 below 20.
 //!
-//! Run: `cargo run --release -p pipo-bench --bin fig8_performance [instructions_per_core]`
+//! The 5 sizes × 10 mixes grid runs through the sweep engine: the fifty
+//! monitored cells fan across host threads and the ten per-mix baselines are
+//! memoized (they do not depend on filter geometry), instead of being
+//! re-simulated for every size as the old sequential loop did.
+//!
+//! Run: `cargo run --release -p pipo-bench --bin fig8_performance -- \
+//!       [instructions_per_core] [--json PATH] [--sequential | --threads N]`
 
-use auto_cuckoo::FilterParams;
-use pipo_bench::{fig8_filter_sizes, filter_with_size, instructions_from_args, run_mix_monitored};
+use pipo_bench::{
+    emit_json, fig8_filter_sizes, filter_with_size, sweep_document, HarnessArgs, Json, MixCell,
+    MixRun, Sweep,
+};
 use pipo_workloads::all_mixes;
 use pipomonitor::MonitorConfig;
 
+const SEED: u64 = 42;
+
 fn main() {
-    let instructions = instructions_from_args();
+    let args = HarnessArgs::parse();
+    let instructions = args.instructions();
     let sizes = fig8_filter_sizes();
     let mixes = all_mixes();
     println!(
@@ -24,17 +35,22 @@ fn main() {
         instructions, sizes
     );
 
-    // results[size][mix]
-    let mut results = Vec::new();
+    let mut sweep = Sweep::new();
     for &(l, b) in &sizes {
-        let filter: FilterParams = filter_with_size(l, b);
-        let config = MonitorConfig::paper_default().with_filter(filter);
-        let runs: Vec<_> = mixes
-            .iter()
-            .map(|mix| run_mix_monitored(mix, config, instructions, 42))
-            .collect();
-        results.push(runs);
+        let config = MonitorConfig::paper_default().with_filter(filter_with_size(l, b));
+        for mix in &mixes {
+            sweep.push(MixCell::new(
+                format!("{l}x{b}/{}", mix.name),
+                *mix,
+                config,
+                instructions,
+                SEED,
+            ));
+        }
     }
+    let runs = sweep.run(args.mode);
+    // results[size][mix], matching the cell grid above.
+    let results: Vec<&[MixRun]> = runs.chunks(mixes.len()).collect();
 
     println!("\nFig. 8(a) — normalized performance (baseline = 1.0000, higher is better)");
     print!("{:>7}", "mix");
@@ -51,7 +67,8 @@ fn main() {
     }
     print!("{:>7}", "mean");
     for runs in &results {
-        let mean: f64 = runs.iter().map(MixRunExt::np).sum::<f64>() / runs.len() as f64;
+        let mean: f64 =
+            runs.iter().map(MixRun::normalized_performance).sum::<f64>() / runs.len() as f64;
         print!("  {mean:>8.4}");
     }
     println!();
@@ -72,14 +89,28 @@ fn main() {
 
     println!("\npaper: avg +0.1% for 1024x8; mix1 up to +0.3%; size impact < 0.2%");
     println!("paper FP/Mi at 1024x8: mix1 ~97, mix7 ~71, mix3/mix6 < 20");
-}
 
-trait MixRunExt {
-    fn np(&self) -> f64;
-}
-
-impl MixRunExt for pipo_bench::MixRun {
-    fn np(&self) -> f64 {
-        self.normalized_performance()
-    }
+    let cells = sweep
+        .cells()
+        .iter()
+        .zip(&runs)
+        .zip(
+            sizes
+                .iter()
+                .flat_map(|&size| mixes.iter().map(move |_| size)),
+        )
+        .map(|((cell, run), (l, b))| {
+            run.to_json()
+                .field("label", cell.label.as_str())
+                .field("l", l)
+                .field("b", b)
+        })
+        .collect();
+    let meta = Json::object()
+        .field("instructions_per_core", instructions)
+        .field("seed", SEED);
+    emit_json(
+        args.json.as_deref(),
+        &sweep_document("fig8_performance", args.mode, meta, cells),
+    );
 }

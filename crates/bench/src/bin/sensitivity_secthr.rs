@@ -4,15 +4,23 @@
 //! because smaller thresholds capture (and prefetch) more aggressively and
 //! generate more false positives.
 //!
-//! Run: `cargo run --release -p pipo-bench --bin sensitivity_secthr [instructions_per_core]`
+//! The 10 mixes × 3 thresholds grid runs through the sweep engine (cells in
+//! parallel, one memoized baseline per mix across the three thresholds).
+//!
+//! Run: `cargo run --release -p pipo-bench --bin sensitivity_secthr -- \
+//!       [instructions_per_core] [--json PATH] [--sequential | --threads N]`
 
 use auto_cuckoo::FilterParams;
-use pipo_bench::{instructions_from_args, run_mix_monitored};
+use pipo_bench::{emit_json, sweep_document, HarnessArgs, Json, MixCell, Sweep};
 use pipo_workloads::all_mixes;
 use pipomonitor::MonitorConfig;
 
+const SEED: u64 = 42;
+const THRESHOLDS: [u8; 3] = [1, 2, 3];
+
 fn main() {
-    let instructions = instructions_from_args();
+    let args = HarnessArgs::parse();
+    let instructions = args.instructions();
     let mixes = all_mixes();
     println!("§VII-C — secThr sensitivity, {instructions} instructions per core");
     println!(
@@ -26,20 +34,34 @@ fn main() {
         "fp/Mi thr=3"
     );
 
-    let mut sums = [0.0f64; 3];
+    let mut sweep = Sweep::new();
     for mix in &mixes {
-        let mut perfs = Vec::new();
-        let mut fps = Vec::new();
-        for thr in 1..=3u8 {
+        for thr in THRESHOLDS {
             let filter = FilterParams::builder()
                 .security_threshold(thr)
                 .build()
                 .expect("valid parameters");
-            let config = MonitorConfig::paper_default().with_filter(filter);
-            let run = run_mix_monitored(mix, config, instructions, 42);
-            perfs.push(run.normalized_performance());
-            fps.push(run.false_positives_per_mi());
+            sweep.push(MixCell::new(
+                format!("thr{thr}/{}", mix.name),
+                *mix,
+                MonitorConfig::paper_default().with_filter(filter),
+                instructions,
+                SEED,
+            ));
         }
+    }
+    let runs = sweep.run(args.mode);
+
+    let mut sums = [0.0f64; 3];
+    for (mix, thr_runs) in mixes.iter().zip(runs.chunks(THRESHOLDS.len())) {
+        let perfs: Vec<f64> = thr_runs
+            .iter()
+            .map(pipo_bench::MixRun::normalized_performance)
+            .collect();
+        let fps: Vec<f64> = thr_runs
+            .iter()
+            .map(pipo_bench::MixRun::false_positives_per_mi)
+            .collect();
         println!(
             "{:>7} {:>12.4} {:>12.4} {:>12.4}   {:>12.1} {:>12.1} {:>12.1}",
             mix.name, perfs[0], perfs[1], perfs[2], fps[0], fps[1], fps[2]
@@ -57,4 +79,23 @@ fn main() {
         sums[2] / n
     );
     println!("\npaper: average performance at secThr=3 is better than at 1 or 2");
+
+    let cells = sweep
+        .cells()
+        .iter()
+        .zip(&runs)
+        .zip((0..mixes.len()).flat_map(|_| THRESHOLDS))
+        .map(|((cell, run), thr)| {
+            run.to_json()
+                .field("label", cell.label.as_str())
+                .field("security_threshold", u64::from(thr))
+        })
+        .collect();
+    let meta = Json::object()
+        .field("instructions_per_core", instructions)
+        .field("seed", SEED);
+    emit_json(
+        args.json.as_deref(),
+        &sweep_document("sensitivity_secthr", args.mode, meta, cells),
+    );
 }

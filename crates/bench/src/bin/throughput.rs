@@ -23,16 +23,19 @@
 //! throughput [total_instructions] [--label NAME] [--out PATH] [--compare PATH] [--samples N]
 //! ```
 //!
+//! `--json PATH` is accepted as an alias of `--out PATH`, matching the flag
+//! every figure harness shares.
+//!
 //! Each configuration is simulated `N` times (default 3, fresh system each
 //! time) and the median elapsed time is reported, which tames scheduler and
 //! frequency-scaling noise on shared machines. `--compare` reads a
 //! previously emitted JSON file and appends a speedup section (this run vs.
 //! the old file), which is how a PR records its before/after delta.
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
 use cache_sim::{CoreId, NullObserver, SimReport, System, SystemConfig, TrafficObserver};
+use pipo_bench::Json;
 use pipo_workloads::{mixes::mix_by_name, ProfileSource};
 use pipomonitor::{DirectoryMonitor, DirectoryMonitorConfig, MonitorConfig, PiPoMonitor};
 
@@ -138,7 +141,7 @@ fn main() {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--label" => label = it.next().expect("--label needs a value").clone(),
-            "--out" => out_path = it.next().expect("--out needs a value").clone(),
+            "--out" | "--json" => out_path = it.next().expect("--out needs a value").clone(),
             "--compare" => compare_path = Some(it.next().expect("--compare needs a value").clone()),
             "--samples" => {
                 samples = it
@@ -171,61 +174,51 @@ fn main() {
         run_config("pipomonitor_32c", 32, pipo, instructions, samples),
     ];
 
-    let mut json = String::new();
-    writeln!(json, "{{").unwrap();
-    writeln!(json, "  \"bench\": \"cache_sim_throughput\",").unwrap();
-    writeln!(json, "  \"label\": \"{label}\",").unwrap();
-    writeln!(json, "  \"workload\": \"{MIX}\",").unwrap();
-    writeln!(json, "  \"seed\": {SEED},").unwrap();
-    writeln!(json, "  \"total_instructions\": {instructions},").unwrap();
-    writeln!(json, "  \"configs\": [").unwrap();
-    for (i, m) in runs.iter().enumerate() {
-        let comma = if i + 1 < runs.len() { "," } else { "" };
-        writeln!(json, "    {{").unwrap();
-        writeln!(json, "      \"name\": \"{}\",", m.name).unwrap();
-        writeln!(json, "      \"cores\": {},", m.cores).unwrap();
-        writeln!(json, "      \"accesses\": {},", m.accesses).unwrap();
-        writeln!(json, "      \"instructions\": {},", m.instructions).unwrap();
-        writeln!(json, "      \"makespan_cycles\": {},", m.makespan).unwrap();
-        writeln!(json, "      \"elapsed_s\": {:.6},", m.elapsed_s).unwrap();
-        writeln!(
-            json,
-            "      \"accesses_per_sec\": {:.1}",
-            m.accesses_per_sec()
-        )
-        .unwrap();
-        writeln!(json, "    }}{comma}").unwrap();
-    }
-    write!(json, "  ]").unwrap();
+    // Decimal places match the old hand-rolled emitter: 6 for seconds, 1 for
+    // rates, 2 for speedup ratios.
+    let round = |x: f64, places: i32| (x * 10f64.powi(places)).round() / 10f64.powi(places);
+    let configs: Vec<Json> = runs
+        .iter()
+        .map(|m| {
+            Json::object()
+                .field("name", m.name)
+                .field("cores", m.cores)
+                .field("accesses", m.accesses)
+                .field("instructions", m.instructions)
+                .field("makespan_cycles", m.makespan)
+                .field("elapsed_s", round(m.elapsed_s, 6))
+                .field("accesses_per_sec", round(m.accesses_per_sec(), 1))
+        })
+        .collect();
+    let mut doc = Json::object()
+        .field("bench", "cache_sim_throughput")
+        .field("label", label.as_str())
+        .field("workload", MIX)
+        .field("seed", SEED)
+        .field("total_instructions", instructions)
+        .field("configs", configs);
 
     if let Some(path) = compare_path {
         let old = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| panic!("cannot read --compare file {path}: {e}"));
         let old_rates = parse_old_rates(&old);
-        writeln!(json, ",").unwrap();
-        writeln!(json, "  \"comparison\": {{").unwrap();
-        writeln!(json, "    \"against\": \"{path}\",").unwrap();
-        writeln!(json, "    \"old_accesses_per_sec\": {{").unwrap();
-        let mut old_lines = Vec::new();
-        let mut ratio_lines = Vec::new();
+        let mut old_obj = Json::object();
+        let mut speedup_obj = Json::object();
         for m in &runs {
             if let Some((_, old_rate)) = old_rates.iter().find(|(n, _)| n == m.name) {
-                old_lines.push(format!("      \"{}\": {:.1}", m.name, old_rate));
-                ratio_lines.push(format!(
-                    "      \"{}\": {:.2}",
-                    m.name,
-                    m.accesses_per_sec() / old_rate
-                ));
+                old_obj = old_obj.field(m.name, round(*old_rate, 1));
+                speedup_obj = speedup_obj.field(m.name, round(m.accesses_per_sec() / old_rate, 2));
             }
         }
-        writeln!(json, "{}", old_lines.join(",\n")).unwrap();
-        writeln!(json, "    }},").unwrap();
-        writeln!(json, "    \"speedup\": {{").unwrap();
-        writeln!(json, "{}", ratio_lines.join(",\n")).unwrap();
-        writeln!(json, "    }}").unwrap();
-        write!(json, "  }}").unwrap();
+        doc = doc.field(
+            "comparison",
+            Json::object()
+                .field("against", path.as_str())
+                .field("old_accesses_per_sec", old_obj)
+                .field("speedup", speedup_obj),
+        );
     }
-    writeln!(json, "\n}}").unwrap();
+    let json = doc.to_pretty();
 
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("{json}");

@@ -1,0 +1,298 @@
+//! Minimal machine-readable output for the figure harnesses.
+//!
+//! Every harness binary accepts `--json <path>` and writes its results as a
+//! JSON document alongside the human-readable tables, in the same spirit as
+//! the `throughput` binary's `BENCH_cache_sim.json` (top-level metadata plus
+//! a `cells` array, one element per sweep cell). The build environment has no
+//! registry access, so this is a small hand-rolled emitter rather than serde;
+//! the schema is our own and stays flat.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use crate::sweep::ExecMode;
+
+/// A JSON value with insertion-ordered object fields.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `true` / `false`.
+    Bool(bool),
+    /// An unsigned integer (the common case for simulator counters).
+    UInt(u64),
+    /// A signed integer.
+    Int(i64),
+    /// A finite float; non-finite values serialise as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; fields keep insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object, to be populated with [`field`](Self::field).
+    #[must_use]
+    pub fn object() -> Self {
+        Json::Object(Vec::new())
+    }
+
+    /// Appends a field to an object and returns it (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    #[must_use]
+    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Self {
+        match &mut self {
+            Json::Object(fields) => fields.push((key.to_string(), value.into())),
+            other => panic!("field() on non-object JSON value {other:?}"),
+        }
+        self
+    }
+
+    /// Serialises with two-space indentation and a trailing newline.
+    #[must_use]
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_value(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    /// Writes the pretty-printed document to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    pub fn write_file(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_pretty())
+    }
+
+    fn write_value(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Int(n) => {
+                let _ = write!(out, "{n}");
+            }
+            // `f64::Display` never uses scientific notation, so the output
+            // is always a valid JSON number.
+            Json::Float(x) if x.is_finite() => {
+                let _ = write!(out, "{x}");
+            }
+            Json::Float(_) => out.push_str("null"),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Array(items) => write_block(out, indent, ('[', ']'), items.len(), |out, i| {
+                items[i].write_value(out, indent + 1);
+            }),
+            Json::Object(fields) => write_block(out, indent, ('{', '}'), fields.len(), |out, i| {
+                write_escaped(out, &fields[i].0);
+                out.push_str(": ");
+                fields[i].1.write_value(out, indent + 1);
+            }),
+        }
+    }
+}
+
+/// Writes a `[...]`/`{...}` block with one element per line.
+fn write_block(
+    out: &mut String,
+    indent: usize,
+    (open, close): (char, char),
+    len: usize,
+    mut write_item: impl FnMut(&mut String, usize),
+) {
+    if len == 0 {
+        out.push(open);
+        out.push(close);
+        return;
+    }
+    out.push(open);
+    for i in 0..len {
+        out.push('\n');
+        for _ in 0..=indent {
+            out.push_str("  ");
+        }
+        write_item(out, i);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    out.push('\n');
+    for _ in 0..indent {
+        out.push_str("  ");
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Self {
+        Json::Bool(v)
+    }
+}
+impl From<u64> for Json {
+    fn from(v: u64) -> Self {
+        Json::UInt(v)
+    }
+}
+impl From<u32> for Json {
+    fn from(v: u32) -> Self {
+        Json::UInt(u64::from(v))
+    }
+}
+impl From<usize> for Json {
+    fn from(v: usize) -> Self {
+        Json::UInt(v as u64)
+    }
+}
+impl From<i64> for Json {
+    fn from(v: i64) -> Self {
+        Json::Int(v)
+    }
+}
+impl From<f64> for Json {
+    fn from(v: f64) -> Self {
+        Json::Float(v)
+    }
+}
+impl From<&str> for Json {
+    fn from(v: &str) -> Self {
+        Json::Str(v.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(v: String) -> Self {
+        Json::Str(v)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(v: Vec<Json>) -> Self {
+        Json::Array(v)
+    }
+}
+
+/// The shared top-level document shape: bench name, execution mode, and one
+/// entry per sweep cell. Binaries append bench-specific metadata fields
+/// before the cells with [`Json::field`].
+#[must_use]
+pub fn sweep_document(bench: &str, mode: ExecMode, meta: Json, cells: Vec<Json>) -> Json {
+    let mut doc = Json::object()
+        .field("bench", bench)
+        .field("mode", mode.name())
+        .field("threads", mode.threads());
+    if let Json::Object(fields) = meta {
+        for (key, value) in fields {
+            doc = doc.field(&key, value);
+        }
+    }
+    doc.field("cells", cells)
+}
+
+/// Writes `doc` to `path` (when given), exiting nonzero on I/O failure.
+pub fn emit_json(path: Option<&str>, doc: &Json) {
+    let Some(path) = path else { return };
+    if let Err(e) = doc.write_file(path) {
+        eprintln!("error: cannot write JSON output {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote JSON results to {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_nested_document() {
+        let doc = Json::object()
+            .field("bench", "demo")
+            .field("count", 3u64)
+            .field("ratio", 0.25)
+            .field("ok", true)
+            .field(
+                "cells",
+                vec![Json::object().field("label", "a"), Json::object()],
+            );
+        let text = doc.to_pretty();
+        assert!(text.starts_with("{\n  \"bench\": \"demo\",\n"));
+        assert!(text.contains("\"count\": 3"));
+        assert!(text.contains("\"ratio\": 0.25"));
+        assert!(text.contains("    {\n      \"label\": \"a\"\n    },"));
+        assert!(text.ends_with("}\n"));
+    }
+
+    #[test]
+    fn empty_containers_and_non_finite_floats() {
+        let doc = Json::object()
+            .field("empty_arr", Vec::new())
+            .field("nan", f64::NAN)
+            .field("inf", f64::INFINITY);
+        let text = doc.to_pretty();
+        assert!(text.contains("\"empty_arr\": []"));
+        assert!(text.contains("\"nan\": null"));
+        assert!(text.contains("\"inf\": null"));
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut out = String::new();
+        write_escaped(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn sweep_document_shape() {
+        let doc = sweep_document(
+            "fig_test",
+            ExecMode::Sequential,
+            Json::object().field("seed", 42u64),
+            vec![Json::object().field("label", "c0")],
+        );
+        let text = doc.to_pretty();
+        let order = [
+            "\"bench\"",
+            "\"mode\"",
+            "\"threads\"",
+            "\"seed\"",
+            "\"cells\"",
+        ];
+        let mut last = 0;
+        for key in order {
+            let pos = text.find(key).expect("key present");
+            assert!(pos > last || last == 0, "field order: {key}");
+            last = pos;
+        }
+        assert!(text.contains("\"mode\": \"sequential\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-object")]
+    fn field_on_array_panics() {
+        let _ = Json::Array(Vec::new()).field("x", 1u64);
+    }
+}

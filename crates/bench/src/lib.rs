@@ -1,14 +1,29 @@
 //! Shared harness code for the experiment binaries that regenerate every
-//! table and figure of the PiPoMonitor paper. See `DESIGN.md` §4 for the
-//! experiment index and `EXPERIMENTS.md` for recorded results.
+//! table and figure of the PiPoMonitor paper. See `EXPERIMENTS.md` at the
+//! repository root for the experiment index and how to regenerate each
+//! figure (including sequential vs. parallel execution and JSON output).
+//!
+//! The harness layer is built around the [`sweep`] engine: each binary
+//! declares its figure as a grid of independent cells and the engine
+//! evaluates them sequentially or fanned across host threads, with
+//! bit-identical per-cell results either way. [`args`] gives every binary the
+//! same CLI surface and [`json`] the machine-readable output format.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod args;
+pub mod json;
+pub mod sweep;
+
 use auto_cuckoo::FilterParams;
 use cache_sim::{CoreId, NullObserver, SimReport, System, SystemConfig};
 use pipo_workloads::{Mix, ProfileSource};
-use pipomonitor::{MonitorConfig, PiPoMonitor};
+use pipomonitor::{MonitorConfig, MonitorStats, PiPoMonitor};
+
+pub use args::HarnessArgs;
+pub use json::{emit_json, sweep_document, Json};
+pub use sweep::{run_cells, ExecMode, MixCell, Sweep};
 
 /// Default instructions simulated per core for performance experiments.
 /// The paper simulates 1 B instructions per benchmark on Gem5; this
@@ -17,7 +32,7 @@ use pipomonitor::{MonitorConfig, PiPoMonitor};
 pub const DEFAULT_INSTRUCTIONS: u64 = 2_000_000;
 
 /// Result of one monitored mix simulation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MixRun {
     /// Mix name.
     pub mix: &'static str,
@@ -52,19 +67,90 @@ impl MixRun {
             self.captures as f64 * 1.0e6 / self.instructions as f64
         }
     }
+
+    /// All raw counters and derived metrics as a JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .field("mix", self.mix)
+            .field("baseline_cycles", self.baseline_cycles)
+            .field("monitored_cycles", self.monitored_cycles)
+            .field("instructions", self.instructions)
+            .field("captures", self.captures)
+            .field("prefetches", self.prefetches)
+            .field("prefetch_hits", self.prefetch_hits)
+            .field("normalized_performance", self.normalized_performance())
+            .field("false_positives_per_mi", self.false_positives_per_mi())
+    }
 }
 
-/// Runs one mix on the baseline system.
-#[must_use]
-pub fn run_mix_baseline(mix: &Mix, instructions: u64, seed: u64) -> SimReport {
-    let mut system = System::new(SystemConfig::paper_default(), NullObserver);
+/// Assembles a [`MixRun`] from its baseline and monitored halves (the sweep
+/// engine simulates them as separate cells so baselines can be memoized).
+pub(crate) fn mix_run_from_parts(
+    mix: &'static str,
+    baseline: &SimReport,
+    monitored: &SimReport,
+    stats: &MonitorStats,
+) -> MixRun {
+    MixRun {
+        mix,
+        baseline_cycles: baseline.makespan(),
+        monitored_cycles: monitored.makespan(),
+        instructions: monitored.total_instructions(),
+        captures: stats.captures,
+        prefetches: stats.prefetches_scheduled,
+        prefetch_hits: monitored.stats.prefetch_hits,
+    }
+}
+
+fn assign_mix_sources(system: &mut System<impl cache_sim::TrafficObserver>, mix: &Mix, seed: u64) {
     for (core, bench) in mix.benchmarks.iter().enumerate() {
         system.set_source(
             CoreId(core),
             Box::new(ProfileSource::new(bench, core, seed)),
         );
     }
+}
+
+/// Runs one mix on the unprotected baseline of the paper's default system.
+#[must_use]
+pub fn run_mix_baseline(mix: &Mix, instructions: u64, seed: u64) -> SimReport {
+    run_mix_baseline_on(mix, SystemConfig::paper_default(), instructions, seed)
+}
+
+/// Runs one mix on the unprotected baseline of a custom system.
+#[must_use]
+pub fn run_mix_baseline_on(
+    mix: &Mix,
+    system_config: SystemConfig,
+    instructions: u64,
+    seed: u64,
+) -> SimReport {
+    let mut system = System::new(system_config, NullObserver);
+    assign_mix_sources(&mut system, mix, seed);
     system.run(instructions)
+}
+
+/// Runs one mix under PiPoMonitor only (no baseline), returning the raw
+/// report and the monitor's statistics.
+///
+/// # Panics
+///
+/// Panics if `monitor_config` holds invalid filter parameters.
+#[must_use]
+pub fn run_mix_monitored_only(
+    mix: &Mix,
+    system_config: SystemConfig,
+    monitor_config: MonitorConfig,
+    instructions: u64,
+    seed: u64,
+) -> (SimReport, MonitorStats) {
+    let monitor = PiPoMonitor::new(monitor_config).expect("valid monitor configuration");
+    let mut system = System::new(system_config, monitor);
+    assign_mix_sources(&mut system, mix, seed);
+    let report = system.run(instructions);
+    let stats = *system.observer().stats();
+    (report, stats)
 }
 
 /// Runs one mix baseline + monitored and collects the paper's metrics.
@@ -103,35 +189,10 @@ pub fn run_mix_monitored_on(
     instructions: u64,
     seed: u64,
 ) -> MixRun {
-    let mut baseline_sys = System::new(system_config.clone(), NullObserver);
-    for (core, bench) in mix.benchmarks.iter().enumerate() {
-        baseline_sys.set_source(
-            CoreId(core),
-            Box::new(ProfileSource::new(bench, core, seed)),
-        );
-    }
-    let baseline = baseline_sys.run(instructions);
-
-    let monitor = PiPoMonitor::new(monitor_config).expect("valid monitor configuration");
-    let mut system = System::new(system_config, monitor);
-    for (core, bench) in mix.benchmarks.iter().enumerate() {
-        system.set_source(
-            CoreId(core),
-            Box::new(ProfileSource::new(bench, core, seed)),
-        );
-    }
-    let monitored = system.run(instructions);
-    let stats = *system.observer().stats();
-
-    MixRun {
-        mix: mix.name,
-        baseline_cycles: baseline.makespan(),
-        monitored_cycles: monitored.makespan(),
-        instructions: monitored.total_instructions(),
-        captures: stats.captures,
-        prefetches: stats.prefetches_scheduled,
-        prefetch_hits: monitored.stats.prefetch_hits,
-    }
+    let baseline = run_mix_baseline_on(mix, system_config.clone(), instructions, seed);
+    let (monitored, stats) =
+        run_mix_monitored_only(mix, system_config, monitor_config, instructions, seed);
+    mix_run_from_parts(mix.name, &baseline, &monitored, &stats)
 }
 
 /// The five Auto-Cuckoo filter sizes evaluated in Fig. 8: `(l, b)` pairs.
@@ -154,13 +215,12 @@ pub fn filter_with_size(l: usize, b: usize) -> FilterParams {
         .expect("figure-8 geometry is valid")
 }
 
-/// Parses an optional instruction-count CLI argument.
+/// Parses the optional instruction-count CLI argument (plus the shared
+/// harness flags), exiting with status 2 on an unparsable argument instead
+/// of silently falling back to the default.
 #[must_use]
 pub fn instructions_from_args() -> u64 {
-    std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(DEFAULT_INSTRUCTIONS)
+    HarnessArgs::parse().instructions()
 }
 
 #[cfg(test)]
@@ -181,6 +241,10 @@ mod tests {
         };
         assert!((run.normalized_performance() - 1.01).abs() < 1e-12);
         assert!((run.false_positives_per_mi() - 50.0).abs() < 1e-12);
+        let json = run.to_json().to_pretty();
+        assert!(json.contains("\"mix\": \"mix1\""));
+        assert!(json.contains("\"captures\": 100"));
+        assert!(json.contains("\"false_positives_per_mi\": 50"));
     }
 
     #[test]
@@ -202,5 +266,15 @@ mod tests {
         // Performance deltas stay well under 5% even at tiny scale.
         let np = run.normalized_performance();
         assert!((0.95..1.05).contains(&np), "normalized perf {np}");
+    }
+
+    #[test]
+    fn monitored_systems_are_send() {
+        // The sweep engine moves whole simulations onto worker threads; a
+        // regression reintroducing a non-Send source or observer would break
+        // parallel sweeps at a distance, so pin it here.
+        fn assert_send<T: Send>() {}
+        assert_send::<System<PiPoMonitor>>();
+        assert_send::<System<NullObserver>>();
     }
 }

@@ -50,6 +50,11 @@ impl Access {
 /// A deterministic source of memory accesses (a workload).
 ///
 /// Returning `None` means the workload is exhausted; the core then idles.
+///
+/// Sources handed to a [`Core`] or [`System`](crate::System) must be `Send`
+/// (`Box<dyn AccessSource + Send>`): whole systems are then `Send`, so sweep
+/// harnesses can fan independent simulations across host threads. The trait
+/// itself carries no `Send` bound — non-`Send` sources still work standalone.
 pub trait AccessSource {
     /// Produces the next access, or `None` when done.
     fn next_access(&mut self) -> Option<Access>;
@@ -68,7 +73,7 @@ where
 /// IPC = 1 for non-memory instructions.
 pub struct Core {
     id: CoreId,
-    source: Box<dyn AccessSource>,
+    source: Box<dyn AccessSource + Send>,
     /// Local clock: when the core can issue its next instruction.
     now: Cycle,
     /// Instructions retired so far (memory + non-memory).
@@ -90,7 +95,7 @@ impl std::fmt::Debug for Core {
 impl Core {
     /// Creates a core fed by `source`.
     #[must_use]
-    pub fn new(id: CoreId, source: Box<dyn AccessSource>) -> Self {
+    pub fn new(id: CoreId, source: Box<dyn AccessSource + Send>) -> Self {
         Self {
             id,
             source,

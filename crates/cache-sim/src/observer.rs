@@ -19,8 +19,11 @@ use crate::types::{Cycle, LineAddr};
 
 /// Observes LLC↔memory traffic and optionally requests protections.
 ///
-/// Implementations must be deterministic for reproducible experiments.
-pub trait TrafficObserver {
+/// Implementations must be deterministic for reproducible experiments, and
+/// `Send` so whole systems can be moved to (or built inside) worker threads
+/// of a parallel sweep. All observers are plain owned data, so this costs
+/// nothing in practice.
+pub trait TrafficObserver: Send {
     /// Called when the LLC misses and a demand fetch goes to memory.
     ///
     /// Returns `true` when the incoming line must be tagged as a protected
@@ -63,9 +66,13 @@ pub trait TrafficObserver {
     /// only `push` (never read stale contents — the caller clears it). The
     /// system inserts each drained line into the LLC via the memory fetch
     /// queue.
-    fn drain_due_prefetches(&mut self, now: Cycle, out: &mut Vec<LineAddr>) {
-        let _ = (now, out);
-    }
+    ///
+    /// Not defaulted, for the same reason as
+    /// [`next_prefetch_due`](Self::next_prefetch_due): an observer that
+    /// reported a due time but inherited a no-op drain would silently never
+    /// issue its prefetches. Observers that never prefetch leave `out`
+    /// untouched.
+    fn drain_due_prefetches(&mut self, now: Cycle, out: &mut Vec<LineAddr>);
 }
 
 /// An observer that does nothing: the unprotected baseline system.
@@ -76,6 +83,8 @@ impl TrafficObserver for NullObserver {
     fn next_prefetch_due(&self) -> Option<Cycle> {
         None
     }
+
+    fn drain_due_prefetches(&mut self, _now: Cycle, _out: &mut Vec<LineAddr>) {}
 }
 
 /// A recording observer for tests: remembers every event it saw.
@@ -102,6 +111,8 @@ impl TrafficObserver for RecordingObserver {
     fn next_prefetch_due(&self) -> Option<Cycle> {
         None
     }
+
+    fn drain_due_prefetches(&mut self, _now: Cycle, _out: &mut Vec<LineAddr>) {}
 }
 
 #[cfg(test)]

@@ -134,7 +134,7 @@ impl<O: TrafficObserver> System<O> {
     /// # Panics
     ///
     /// Panics if `core` is out of range.
-    pub fn set_source(&mut self, core: CoreId, source: Box<dyn AccessSource>) {
+    pub fn set_source(&mut self, core: CoreId, source: Box<dyn AccessSource + Send>) {
         self.cores[core.0] = Core::new(core, source);
     }
 
@@ -220,7 +220,7 @@ mod tests {
     use crate::observer::NullObserver;
     use crate::types::{Addr, CoreId};
 
-    fn stride_source(start: u64, stride: u64, think: Cycle) -> Box<dyn AccessSource> {
+    fn stride_source(start: u64, stride: u64, think: Cycle) -> Box<dyn AccessSource + Send> {
         let mut addr = start;
         Box::new(move || {
             addr += stride;

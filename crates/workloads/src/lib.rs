@@ -15,7 +15,8 @@
 //! between accesses are calibrated per benchmark from published SPEC CPU2006
 //! memory characterisations (miss rates, footprints), so the *relative*
 //! memory intensity across the 13 benchmarks used by the paper's mixes is
-//! preserved. See `DESIGN.md` for the substitution rationale.
+//! preserved. See `EXPERIMENTS.md` (Recorded substitutions) for the
+//! substitution rationale.
 //!
 //! # Examples
 //!

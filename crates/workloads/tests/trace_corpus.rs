@@ -1,0 +1,78 @@
+//! The bundled `pipo-trace v1` corpus under `traces/` must stay parseable,
+//! round-trip through the serialiser, and replay deterministically through
+//! the simulator. (The files were recorded with
+//! `examples/record_trace.rs` — see its doc comment to regenerate them.)
+
+use std::path::PathBuf;
+
+use cache_sim::{CoreId, NullObserver, System, SystemConfig};
+use pipo_workloads::Trace;
+
+fn corpus() -> Vec<(String, String)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("traces");
+    let mut files: Vec<(String, String)> = std::fs::read_dir(&dir)
+        .expect("traces/ directory is bundled with the crate")
+        .map(|entry| {
+            let path = entry.expect("readable directory entry").path();
+            let name = path
+                .file_name()
+                .expect("file name")
+                .to_string_lossy()
+                .into_owned();
+            let text = std::fs::read_to_string(&path).expect("readable trace file");
+            (name, text)
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+#[test]
+fn corpus_is_bundled_and_well_formed() {
+    let files = corpus();
+    assert!(
+        files.len() >= 2,
+        "expected a bundled corpus, found {} files",
+        files.len()
+    );
+    for (name, text) in &files {
+        assert!(name.ends_with(".trace"), "unexpected file {name}");
+        assert!(
+            text.starts_with("# pipo-trace v1\n"),
+            "{name} missing the format header"
+        );
+        let trace: Trace = text.parse().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert!(!trace.is_empty(), "{name} holds no accesses");
+        assert!(trace.len() >= 100, "{name} is too short to exercise replay");
+    }
+}
+
+#[test]
+fn corpus_round_trips_through_the_serialiser() {
+    for (name, text) in corpus() {
+        let trace: Trace = text.parse().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let reparsed: Trace = trace
+            .to_text()
+            .parse()
+            .unwrap_or_else(|e| panic!("{name} re-parse: {e}"));
+        assert_eq!(trace, reparsed, "{name} round trip");
+    }
+}
+
+#[test]
+fn corpus_replays_deterministically_through_the_simulator() {
+    for (name, text) in corpus() {
+        let trace: Trace = text.parse().unwrap_or_else(|e| panic!("{name}: {e}"));
+        let replay_once = || {
+            let mut system = System::new(SystemConfig::small_test(), NullObserver);
+            system.set_source(CoreId(0), Box::new(trace.replay()));
+            // More instructions than the trace holds: the run ends when the
+            // replay is exhausted, covering the full file.
+            let report = system.run(u64::MAX);
+            (report.completion_cycles.clone(), report.stats.llc_evictions)
+        };
+        let first = replay_once();
+        assert_eq!(first, replay_once(), "{name} must replay identically");
+        assert!(first.0[0] > 0, "{name} replay advanced the core clock");
+    }
+}

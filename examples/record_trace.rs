@@ -1,0 +1,57 @@
+//! Records a workload source into a `pipo-trace v1` file.
+//!
+//! This is the tool that generated the bundled corpus under
+//! `crates/workloads/traces/`; rerun it to regenerate or extend the corpus:
+//!
+//! ```sh
+//! cargo run --release --example record_trace -- stride 256 out.trace
+//! cargo run --release --example record_trace -- pointer_chase 256 out.trace
+//! cargo run --release --example record_trace -- profile:gcc 400 out.trace
+//! ```
+//!
+//! Sources are seeded deterministically (seed 42, core 0), so the same
+//! invocation always produces the same trace.
+
+use pipo_workloads::{benchmark, PointerChaseSource, ProfileSource, StrideSource, Trace};
+
+const SEED: u64 = 42;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [source_name, count, path] = &args[..] else {
+        eprintln!("usage: record_trace <stride|pointer_chase|profile:NAME> <count> <out.trace>");
+        std::process::exit(2);
+    };
+    let count: usize = count.parse().unwrap_or_else(|_| {
+        eprintln!("error: unparsable access count {count:?}");
+        std::process::exit(2);
+    });
+
+    let trace = match source_name.as_str() {
+        "stride" => Trace::record(&mut StrideSource::new(0x4000, 64, 3), count),
+        "pointer_chase" => {
+            Trace::record(&mut PointerChaseSource::new(1 << 20, 4096, 5, SEED), count)
+        }
+        name => {
+            let Some(bench) = name.strip_prefix("profile:").and_then(benchmark) else {
+                eprintln!("error: unknown source {name:?}");
+                std::process::exit(2);
+            };
+            Trace::record(&mut ProfileSource::new(bench, 0, SEED), count)
+        }
+    };
+
+    let mut text =
+        format!("# pipo-trace v1\n# source: {source_name} (seed {SEED}), {count} accesses\n");
+    text.push_str(
+        trace
+            .to_text()
+            .strip_prefix("# pipo-trace v1\n")
+            .expect("serialiser writes the header"),
+    );
+    std::fs::write(path, text).unwrap_or_else(|e| {
+        eprintln!("error: cannot write {path}: {e}");
+        std::process::exit(1);
+    });
+    println!("recorded {} accesses to {path}", trace.len());
+}
