@@ -3,7 +3,7 @@
 //! Every binary accepts the same surface:
 //!
 //! ```text
-//! <binary> [scale] [--json PATH] [--sequential | --threads N]
+//! <binary> [scale] [--json PATH] [--sequential | --threads N] [--shards N] [--help]
 //! ```
 //!
 //! * `scale` — one optional unsigned integer whose meaning is per-binary
@@ -14,14 +14,34 @@
 //!   behaviour; per-cell results are bit-identical either way).
 //! * `--threads N` — evaluate sweep cells on `N` worker threads. The default
 //!   is one thread per host core.
+//! * `--shards N` — additionally parallelize *within* each simulated system:
+//!   every `System::run` becomes an epoch-parallel `System::run_sharded`
+//!   with `N` shards (bit-identical results; see `ARCHITECTURE.md`).
+//!   Binaries whose cells do not run whole systems reject the flag.
+//!   `--threads` and `--shards` multiply: `--threads T --shards S` can keep
+//!   up to `T × S` worker threads runnable, so pair `--shards` with an
+//!   explicit `--threads`/`--sequential` cell budget when the product would
+//!   oversubscribe the host.
+//! * `--help` / `-h` — print the full flag list and exit 0.
 //!
 //! Unknown flags and unparsable values are reported on stderr and exit with
 //! status 2 — they are never silently swallowed into a default.
 
 use crate::sweep::ExecMode;
 
-/// Usage string printed alongside argument errors.
-pub const USAGE: &str = "usage: <binary> [scale] [--json PATH] [--sequential | --threads N]";
+/// Usage string printed alongside argument errors and by `--help`.
+pub const USAGE: &str = "\
+usage: <binary> [scale] [--json PATH] [--sequential | --threads N] [--shards N] [--help]
+
+  scale         optional unsigned integer; per-binary meaning (instructions
+                per core, probe windows, trials, insertions, ...)
+  --json PATH   additionally write machine-readable results to PATH
+  --sequential  evaluate sweep cells one at a time
+  --threads N   evaluate sweep cells on N worker threads
+                (default: one per host core)
+  --shards N    epoch-parallel sharding inside each simulated system
+                (System::run_sharded; bit-identical to unsharded runs)
+  --help, -h    print this help and exit";
 
 /// Parsed harness arguments.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,14 +52,23 @@ pub struct HarnessArgs {
     pub json: Option<String>,
     /// How to execute sweep cells.
     pub mode: ExecMode,
+    /// Epoch-parallel shards inside each simulated system (`--shards N`);
+    /// `None` leaves every system on the plain sequential engine.
+    pub shards: Option<usize>,
 }
 
 impl HarnessArgs {
     /// Parses `std::env::args`, printing an error and exiting with status 2
-    /// on an unknown flag or unparsable value.
+    /// on an unknown flag or unparsable value. `--help`/`-h` prints the full
+    /// flag list and exits 0.
     #[must_use]
     pub fn parse() -> Self {
-        match Self::try_parse(std::env::args().skip(1)) {
+        let raw: Vec<String> = std::env::args().skip(1).collect();
+        if raw.iter().any(|a| a == "--help" || a == "-h") {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        match Self::try_parse(raw) {
             Ok(args) => args,
             Err(message) => {
                 eprintln!("error: {message}");
@@ -60,6 +89,7 @@ impl HarnessArgs {
             scale: None,
             json: None,
             mode: ExecMode::host_default(),
+            shards: None,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -77,6 +107,16 @@ impl HarnessArgs {
                         return Err("--threads expects a positive integer, got 0".into());
                     }
                     out.mode = ExecMode::with_threads(threads);
+                }
+                "--shards" => {
+                    let raw = it.next().ok_or("--shards needs a shard count")?;
+                    let shards: usize = raw
+                        .parse()
+                        .map_err(|_| format!("--shards expects a positive integer, got {raw:?}"))?;
+                    if shards == 0 {
+                        return Err("--shards expects a positive integer, got 0".into());
+                    }
+                    out.shards = Some(shards);
                 }
                 flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
                 positional => {
@@ -107,6 +147,22 @@ impl HarnessArgs {
             eprintln!("{USAGE}");
             std::process::exit(2);
         }
+    }
+
+    /// For binaries whose cells do not run whole systems: rejects `--shards`
+    /// (exit 2) instead of silently ignoring it.
+    pub fn expect_no_shards(&self) {
+        if let Some(shards) = self.shards {
+            eprintln!("error: this binary does not simulate whole systems, --shards {shards} has no effect");
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+
+    /// The `--shards` value as a shard count, `1` (sequential) when absent.
+    #[must_use]
+    pub fn shards_or_sequential(&self) -> usize {
+        self.shards.unwrap_or(1)
     }
 
     /// The scale argument read as instructions per core
@@ -141,10 +197,29 @@ mod tests {
         assert_eq!(args.instructions(), 50_000);
         assert_eq!(args.json.as_deref(), Some("out.json"));
         assert_eq!(args.mode.threads(), 3);
+        assert_eq!(args.shards, None);
+        assert_eq!(args.shards_or_sequential(), 1);
         assert_eq!(
             parse(&["--sequential"]).expect("valid").mode,
             ExecMode::Sequential
         );
+    }
+
+    #[test]
+    fn shards_flag_parses_and_validates() {
+        let args = parse(&["--shards", "4"]).expect("valid");
+        assert_eq!(args.shards, Some(4));
+        assert_eq!(args.shards_or_sequential(), 4);
+        assert!(parse(&["--shards"]).unwrap_err().contains("shard count"));
+        assert!(parse(&["--shards", "0"]).unwrap_err().contains('0'));
+        assert!(parse(&["--shards", "four"]).unwrap_err().contains("four"));
+    }
+
+    #[test]
+    fn usage_enumerates_every_flag() {
+        for flag in ["--json", "--sequential", "--threads", "--shards", "--help"] {
+            assert!(USAGE.contains(flag), "usage text must mention {flag}");
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ struct DelayResult {
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.expect_no_shards();
     let windows = args.scale_or(150) as usize;
     let config = AttackConfig {
         iterations: windows,

@@ -83,6 +83,7 @@ fn main() {
             .on_system(cfg),
         );
     }
+    let sweep = sweep.with_shards(args.shards_or_sequential());
     let mix_runs = sweep.run(args.mode);
     for ((name, _), run) in policies.iter().zip(&mix_runs) {
         println!(

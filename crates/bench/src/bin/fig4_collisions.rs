@@ -30,6 +30,7 @@ struct CollisionResult {
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.expect_no_shards();
     let insertions = args.scale_or(6_000_000);
 
     println!(

@@ -28,6 +28,7 @@ struct PanelResult {
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.expect_no_shards();
     let windows = args.scale_or(100) as usize;
     let config = AttackConfig {
         iterations: windows,

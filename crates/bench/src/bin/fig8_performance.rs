@@ -48,6 +48,7 @@ fn main() {
             ));
         }
     }
+    let sweep = sweep.with_shards(args.shards_or_sequential());
     let runs = sweep.run(args.mode);
     // results[size][mix], matching the cell grid above.
     let results: Vec<&[MixRun]> = runs.chunks(mixes.len()).collect();

@@ -50,6 +50,7 @@ fn main() {
             ));
         }
     }
+    let sweep = sweep.with_shards(args.shards_or_sequential());
     let runs = sweep.run(args.mode);
 
     let mut sums = [0.0f64; 3];

@@ -46,7 +46,7 @@ struct WaySlot {
 /// assert!(evicted.is_none());
 /// assert!(c.contains(LineAddr(5)));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Cache {
     geometry: CacheGeometry,
     /// Tag + LRU stamp of each way, indexed `set * ways + way`; meaningful
@@ -59,6 +59,36 @@ pub struct Cache {
     policy: ReplacementPolicy,
     set_mask: u64,
     set_shift: u32,
+}
+
+impl Clone for Cache {
+    fn clone(&self) -> Self {
+        Self {
+            geometry: self.geometry,
+            slots: self.slots.clone(),
+            valid: self.valid.clone(),
+            metas: self.metas.clone(),
+            policy: self.policy.clone(),
+            set_mask: self.set_mask,
+            set_shift: self.set_shift,
+        }
+    }
+
+    /// Overwrites `self` with `source` while reusing `self`'s allocations.
+    ///
+    /// The epoch-parallel engine snapshots LLC-sized caches every epoch
+    /// (per-worker speculation copies plus the rollback backup); cloning
+    /// into a reused buffer turns those snapshots into plain `memcpy`s
+    /// instead of allocation + page-fault storms.
+    fn clone_from(&mut self, source: &Self) {
+        self.geometry = source.geometry;
+        self.slots.clone_from(&source.slots);
+        self.valid.clone_from(&source.valid);
+        self.metas.clone_from(&source.metas);
+        self.policy.clone_from(&source.policy);
+        self.set_mask = source.set_mask;
+        self.set_shift = source.set_shift;
+    }
 }
 
 impl Cache {

@@ -1,5 +1,7 @@
 //! A simple in-order core model driven by an address stream.
 
+use std::collections::VecDeque;
+
 use crate::hierarchy::Hierarchy;
 use crate::observer::TrafficObserver;
 use crate::types::{AccessKind, Addr, CoreId, Cycle};
@@ -74,6 +76,9 @@ where
 pub struct Core {
     id: CoreId,
     source: Box<dyn AccessSource + Send>,
+    /// Accesses pushed back by a rolled-back speculative epoch; consumed
+    /// before the source so a re-execution replays the identical stream.
+    lookahead: VecDeque<Access>,
     /// Local clock: when the core can issue its next instruction.
     now: Cycle,
     /// Instructions retired so far (memory + non-memory).
@@ -99,6 +104,7 @@ impl Core {
         Self {
             id,
             source,
+            lookahead: VecDeque::new(),
             now: 0,
             retired: 0,
             exhausted: false,
@@ -133,8 +139,7 @@ impl Core {
     ///
     /// Returns `false` when the source is exhausted.
     pub fn step(&mut self, hierarchy: &mut Hierarchy, observer: &mut dyn TrafficObserver) -> bool {
-        let Some(access) = self.source.next_access() else {
-            self.exhausted = true;
+        let Some(access) = self.pull_access() else {
             return false;
         };
         self.now += access.think_cycles;
@@ -143,6 +148,60 @@ impl Core {
         self.now += result.latency;
         self.retired += 1; // the memory instruction itself
         true
+    }
+
+    /// Takes the next access from the rollback lookahead, falling back to the
+    /// source; marks the core exhausted when both run dry.
+    fn pull_access(&mut self) -> Option<Access> {
+        if let Some(access) = self.lookahead.pop_front() {
+            return Some(access);
+        }
+        match self.source.next_access() {
+            Some(access) => Some(access),
+            None => {
+                self.exhausted = true;
+                None
+            }
+        }
+    }
+
+    /// Begins one speculative step: pulls the next access, records it on
+    /// `tape` (so [`rewind`](Self::rewind) can undo the consumption), and
+    /// retires its compute gap. The caller finishes the step with
+    /// [`finish_step`](Self::finish_step) once the access latency is known.
+    ///
+    /// Returns `None` (and marks the core exhausted) when the stream is dry.
+    pub(crate) fn begin_step(&mut self, tape: &mut Vec<Access>) -> Option<Access> {
+        let access = self.pull_access()?;
+        tape.push(access);
+        self.now += access.think_cycles;
+        self.retired += access.think_cycles;
+        Some(access)
+    }
+
+    /// Completes a speculative step begun with [`begin_step`](Self::begin_step).
+    pub(crate) fn finish_step(&mut self, latency: Cycle) {
+        self.now += latency;
+        self.retired += 1;
+    }
+
+    /// Snapshot of the rollback-relevant execution state
+    /// `(now, retired, exhausted)`.
+    pub(crate) fn exec_state(&self) -> (Cycle, u64, bool) {
+        (self.now, self.retired, self.exhausted)
+    }
+
+    /// Rolls the core back to a pre-epoch [`exec_state`](Self::exec_state),
+    /// unreading the accesses consumed since (they re-enter the stream ahead
+    /// of the source, in original order).
+    pub(crate) fn rewind(&mut self, state: (Cycle, u64, bool), tape: &[Access]) {
+        let (now, retired, exhausted) = state;
+        self.now = now;
+        self.retired = retired;
+        self.exhausted = exhausted;
+        for access in tape.iter().rev() {
+            self.lookahead.push_front(*access);
+        }
     }
 }
 

@@ -1,0 +1,985 @@
+//! Epoch-parallel execution of a single simulated system.
+//!
+//! [`System::run_sharded`](crate::System::run_sharded) splits one simulation
+//! across worker threads while producing **bit-identical** results to the
+//! sequential engine. The key observation is that cores couple only through
+//! the shared LLC: every L1/L2 interaction is private to one core, so a
+//! *shard* (a contiguous range of cores) can advance independently as long
+//! as its view of the LLC stays consistent.
+//!
+//! # The epoch protocol
+//!
+//! Simulated time is cut into epochs `[T, T + W)`. Each epoch runs three
+//! phases:
+//!
+//! 1. **Speculate (parallel).** Every shard worker advances its cores
+//!    through their *real* private L1/L2 caches against a private *clone* of
+//!    the LLC, executing exactly the per-core schedule the sequential engine
+//!    would (a `(clock, core)` min-heap restricted to the shard). Every
+//!    LLC-touching operation — probes that miss L2, write upgrades, private
+//!    eviction demotions — is appended to a per-shard log together with the
+//!    worker's *predicted* outcome (serving level, latency, evicted victim
+//!    and its sharer set, coherence invalidation set).
+//! 2. **Merge + replay (sequential barrier).** The shard logs, each already
+//!    sorted by `(step start, core id)` — the exact key the sequential
+//!    scheduler orders steps by — are k-way merged and replayed against the
+//!    *authoritative* LLC, DRAM, statistics, and traffic observer. The
+//!    replay performs the true LLC mutations (so replacement state, the
+//!    directory, and the observer see the globally interleaved op stream)
+//!    and verifies each worker prediction against the authoritative outcome.
+//! 3. **Commit or roll back.** If every prediction verified, shard-local
+//!    statistics deltas are absorbed and the next epoch begins. On *any*
+//!    divergence — a mispredicted serving level or latency, an eviction
+//!    victim whose sharer set does not match or crosses a shard boundary, a
+//!    coherence invalidation reaching another shard, or a monitor prefetch
+//!    becoming due inside the epoch — the whole epoch is rolled back (cores
+//!    rewind via access tapes, private caches and LLC/observer/DRAM/stats
+//!    restore from snapshots) and re-executed with the sequential engine.
+//!
+//! Because every committed epoch is *verified* equivalent to sequential
+//! execution and every rejected epoch is *re-executed* sequentially, the
+//! final [`SimReport`](crate::SimReport) is bit-identical to
+//! [`System::run`](crate::System::run) by construction — parallelism can
+//! only degrade to sequential speed, never change results.
+//! `tests/sharded_regression.rs` pins this across every bundled mix, trace,
+//! and a cross-core conflict stress.
+//!
+//! # What can a worker safely *not* know?
+//!
+//! The verification rules are chosen so that everything a worker cannot
+//! predict is either authoritative at replay time or irrelevant to the
+//! worker's own evolution:
+//!
+//! * The observer's protect decision on a memory fetch only changes LLC
+//!   metadata the observer itself later consumes — replay computes it
+//!   authoritatively; workers fill a placeholder.
+//! * An eviction victim mispredicted by a worker is harmless when both the
+//!   predicted and the authoritative victim have **empty sharer sets**: no
+//!   private cache is touched either way and the replay notifies the
+//!   observer with the authoritative victim.
+//! * Statistics split cleanly: workers count private-level events
+//!   (L1/L2 service, back-invalidations and coherence invalidations they
+//!   applied), the replay counts LLC-level events (L3/memory service, LLC
+//!   evictions, writebacks, prefetch fills/hits, DRAM traffic).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::cache::Cache;
+use crate::config::SystemConfig;
+use crate::core::{Access, Core};
+use crate::hierarchy::Hierarchy;
+use crate::line::{LineMeta, SharerSet};
+use crate::observer::TrafficObserver;
+use crate::stats::HierarchyStats;
+use crate::types::{CoreId, Cycle, Level, LineAddr};
+
+/// Default epoch window in simulated cycles.
+///
+/// Long enough to amortize the per-epoch snapshot and barrier cost over
+/// thousands of simulated accesses, short enough that cross-shard LLC
+/// interference (which forces a rollback) stays rare on mix-style workloads.
+pub const DEFAULT_EPOCH_CYCLES: Cycle = 16_384;
+
+/// How [`System::run_sharded`](crate::System::run_sharded) splits one
+/// simulation across worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Number of worker shards. Cores are partitioned into `shards`
+    /// contiguous, near-equal ranges; clamped to the core count. `0` or `1`
+    /// selects the plain sequential engine.
+    pub shards: usize,
+    /// Base epoch window in simulated cycles (see [`DEFAULT_EPOCH_CYCLES`]).
+    /// The engine adapts from here: the window doubles after every committed
+    /// epoch (up to 64× this base) and resets to it on rollback, so
+    /// commit-heavy workloads amortize the per-epoch snapshot cost over ever
+    /// longer windows while conflict-heavy ones keep wasted speculation
+    /// bounded.
+    pub epoch_cycles: Cycle,
+}
+
+impl ShardSpec {
+    /// A spec with `shards` workers and the default epoch window.
+    #[must_use]
+    pub fn new(shards: usize) -> Self {
+        Self {
+            shards,
+            epoch_cycles: DEFAULT_EPOCH_CYCLES,
+        }
+    }
+
+    /// A spec whose epoch window scales with the configured LLC size.
+    ///
+    /// The per-epoch cost of the protocol is dominated by LLC snapshots
+    /// (each worker probes a private clone, plus one rollback backup), which
+    /// grow linearly with LLC capacity while the simulated work per cycle
+    /// does not. Scaling the window by the LLC's size relative to the
+    /// 4 MiB paper default keeps snapshot bytes per simulated cycle — and so
+    /// the protocol's overhead ratio — roughly constant on scaled machines.
+    #[must_use]
+    pub fn for_config(config: &crate::config::SystemConfig, shards: usize) -> Self {
+        const PAPER_LLC_BYTES: u64 = 4 << 20;
+        let scale = (config.llc_bytes() / PAPER_LLC_BYTES).max(1);
+        Self {
+            shards,
+            epoch_cycles: DEFAULT_EPOCH_CYCLES.saturating_mul(scale),
+        }
+    }
+
+    /// Overrides the epoch window (clamped to at least 1 cycle at run time).
+    #[must_use]
+    pub fn with_epoch_cycles(mut self, epoch_cycles: Cycle) -> Self {
+        self.epoch_cycles = epoch_cycles;
+        self
+    }
+}
+
+impl Default for ShardSpec {
+    /// One shard per available host core.
+    fn default() -> Self {
+        let threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        Self::new(threads)
+    }
+}
+
+/// Execution counters of one [`run_sharded`](crate::System::run_sharded)
+/// call: how much of the run committed in parallel and how much fell back to
+/// the sequential engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochTelemetry {
+    /// Parallel epochs attempted (speculate phase ran).
+    pub parallel_epochs: u64,
+    /// Parallel epochs whose replay verified and committed.
+    pub committed_epochs: u64,
+    /// Parallel epochs rolled back to sequential re-execution.
+    pub rollbacks: u64,
+    /// Windows executed by the sequential engine (rollback re-runs plus
+    /// epochs skipped because a monitor prefetch was due inside the window).
+    pub sequential_windows: u64,
+    /// LLC operations verified by the replay phase of committed epochs.
+    pub llc_ops_replayed: u64,
+}
+
+/// A worker's predicted outcome of one LLC probe.
+#[derive(Debug, Clone, Copy)]
+struct Predicted {
+    /// Serving level: `Level::L3` or `Level::Memory`.
+    served: Level,
+    /// Total access latency, including coherence invalidation cost.
+    latency: Cycle,
+    /// Other sharers invalidated by a write (empty for reads).
+    coherence: SharerSet,
+    /// LLC victim evicted by a memory fill, if any.
+    evicted: Option<PredictedEvict>,
+}
+
+/// A worker's predicted LLC eviction.
+#[derive(Debug, Clone, Copy)]
+struct PredictedEvict {
+    line: LineAddr,
+    /// The victim's directory sharer set at eviction time.
+    sharers: SharerSet,
+    /// OR of the dirty bits folded out of the back-invalidated private
+    /// copies (the worker applied those invalidations itself).
+    private_dirty: bool,
+}
+
+/// One logged LLC-touching operation.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct LlcOp {
+    /// Step start time — the sequential scheduler's ordering key.
+    start: Cycle,
+    /// Core that performed the operation.
+    core: CoreId,
+    /// Access timestamp (step start plus think cycles) passed to the
+    /// hierarchy and observer.
+    now: Cycle,
+    line: LineAddr,
+    kind: LlcOpKind,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum LlcOpKind {
+    /// An access that missed L2 and probed the LLC.
+    Probe {
+        is_write: bool,
+        predicted: Predicted,
+    },
+    /// A write that hit L1/L2 and upgraded ownership through the directory.
+    WriteUpgrade {
+        predicted_extra: Cycle,
+        predicted_others: SharerSet,
+    },
+    /// A private cache evicted its copy of `line` (directory update).
+    Demote { private_dirty: bool },
+}
+
+/// Everything a shard worker produces: the op log, shard-local statistics,
+/// and the state needed to roll the shard back.
+pub(crate) struct ShardOutcome {
+    base: usize,
+    log: Vec<LlcOp>,
+    stats: HierarchyStats,
+    conflict: bool,
+    backup_l1: Vec<Cache>,
+    backup_l2: Vec<Cache>,
+    tapes: Vec<Vec<Access>>,
+    saved: Vec<(Cycle, u64, bool)>,
+}
+
+impl ShardOutcome {
+    pub(crate) fn conflicted(&self) -> bool {
+        self.conflict
+    }
+
+    pub(crate) fn log(&self) -> &[LlcOp] {
+        &self.log
+    }
+
+    pub(crate) fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+}
+
+/// Borrowed inputs of one shard worker for one epoch.
+pub(crate) struct ShardTask<'a> {
+    /// Global index of the shard's first core.
+    pub base: usize,
+    /// Total cores in the system (sizes the shard-local statistics block).
+    pub total_cores: usize,
+    /// The shard's cores (authoritative — no other thread touches them).
+    pub cores: &'a mut [Core],
+    /// The shard cores' private L1s (authoritative).
+    pub l1: &'a mut [Cache],
+    /// The shard cores' private L2s (authoritative).
+    pub l2: &'a mut [Cache],
+    /// Epoch-start LLC snapshot; the worker probes `llc_scratch`, a private
+    /// copy of this.
+    pub llc: &'a Cache,
+    /// Persistent per-shard scratch the snapshot is copied into — reused
+    /// across epochs so speculation never re-allocates LLC-sized buffers.
+    pub llc_scratch: &'a mut Cache,
+    pub config: &'a SystemConfig,
+    pub line_shift: u32,
+}
+
+/// Shard sizes for partitioning `cores` cores into `shards` contiguous
+/// ranges: the first `cores % shards` shards take one extra core.
+pub(crate) fn shard_sizes(cores: usize, shards: usize) -> Vec<usize> {
+    let shards = shards.clamp(1, cores.max(1));
+    let base = cores / shards;
+    let rem = cores % shards;
+    (0..shards).map(|s| base + usize::from(s < rem)).collect()
+}
+
+/// Per-core membership mask of the shard owning each core.
+pub(crate) fn shard_masks(cores: usize, shards: usize) -> Vec<u64> {
+    let mut masks = Vec::with_capacity(cores);
+    let mut lo = 0usize;
+    for size in shard_sizes(cores, shards) {
+        let mask = mask_of_range(lo, size);
+        for _ in 0..size {
+            masks.push(mask);
+        }
+        lo += size;
+    }
+    masks
+}
+
+fn mask_of_range(base: usize, len: usize) -> u64 {
+    debug_assert!(base + len <= 64, "sharer bitmap supports at most 64 cores");
+    if len == 64 {
+        u64::MAX
+    } else {
+        ((1u64 << len) - 1) << base
+    }
+}
+
+/// Runs one shard for one epoch: advances every shard core whose next step
+/// starts before `t_end`, speculating against a clone of the LLC snapshot.
+pub(crate) fn run_shard_epoch(
+    task: ShardTask<'_>,
+    quota: u64,
+    t_end: Cycle,
+    stop: &AtomicBool,
+) -> ShardOutcome {
+    let ShardTask {
+        base,
+        total_cores,
+        cores,
+        l1,
+        l2,
+        llc,
+        llc_scratch,
+        config,
+        line_shift,
+    } = task;
+    let n = cores.len();
+    let backup_l1 = l1.to_vec();
+    let backup_l2 = l2.to_vec();
+    let saved: Vec<_> = cores.iter().map(Core::exec_state).collect();
+    let mut tapes: Vec<Vec<Access>> = vec![Vec::new(); n];
+    llc_scratch.clone_from(llc);
+    let mut exec = ShardExec {
+        base,
+        mask: mask_of_range(base, n),
+        l1,
+        l2,
+        llc: llc_scratch,
+        config,
+        line_shift,
+        stats: HierarchyStats::new(total_cores),
+        log: Vec::new(),
+        conflict: false,
+    };
+
+    // The shard-local scheduler mirrors the sequential engine exactly: a
+    // min-heap on (local clock, global core index), stepping the popped core
+    // while it stays strictly earliest. Restricted to one shard this yields
+    // the global sequential order filtered to the shard's cores, so the op
+    // log comes out sorted by the merge key.
+    let mut heap: BinaryHeap<Reverse<(Cycle, usize)>> = BinaryHeap::with_capacity(n);
+    for (li, core) in cores.iter().enumerate() {
+        if !core.is_exhausted() && core.retired() < quota && core.now() < t_end {
+            heap.push(Reverse((core.now(), base + li)));
+        }
+    }
+    'outer: while let Some(Reverse((_, idx))) = heap.pop() {
+        let li = idx - base;
+        loop {
+            if stop.load(Ordering::Relaxed) {
+                break 'outer; // Another shard conflicted; the epoch is doomed.
+            }
+            let start = cores[li].now();
+            if start >= t_end {
+                break; // The core's next step belongs to a later epoch.
+            }
+            let Some(access) = cores[li].begin_step(&mut tapes[li]) else {
+                break; // Source exhausted.
+            };
+            let now = cores[li].now();
+            let latency = exec.access(CoreId(idx), access, start, now);
+            cores[li].finish_step(latency);
+            if exec.conflict {
+                stop.store(true, Ordering::Relaxed);
+                break 'outer;
+            }
+            if cores[li].retired() >= quota {
+                break;
+            }
+            let after = cores[li].now();
+            if let Some(&Reverse(next)) = heap.peek() {
+                if (after, idx) >= next {
+                    heap.push(Reverse((after, idx)));
+                    break;
+                }
+            }
+        }
+    }
+
+    ShardOutcome {
+        base,
+        log: exec.log,
+        stats: exec.stats,
+        conflict: exec.conflict,
+        backup_l1,
+        backup_l2,
+        tapes,
+        saved,
+    }
+}
+
+/// Rolls one shard back to its epoch-start state.
+pub(crate) fn rollback_shard(outcome: ShardOutcome, cores: &mut [Core], hierarchy: &mut Hierarchy) {
+    let ShardOutcome {
+        base,
+        backup_l1,
+        backup_l2,
+        tapes,
+        saved,
+        ..
+    } = outcome;
+    for (li, (l1, l2)) in backup_l1.into_iter().zip(backup_l2).enumerate() {
+        let idx = base + li;
+        cores[idx].rewind(saved[li], &tapes[li]);
+        hierarchy.l1[idx] = l1;
+        hierarchy.l2[idx] = l2;
+    }
+}
+
+/// The speculative execution engine of one shard: the private-cache half is
+/// authoritative (it mirrors [`Hierarchy::access`] exactly), the LLC half
+/// runs against a clone and logs predictions for the replay to verify.
+struct ShardExec<'a> {
+    base: usize,
+    /// Membership mask of this shard's cores.
+    mask: u64,
+    l1: &'a mut [Cache],
+    l2: &'a mut [Cache],
+    /// Private LLC copy, mutated only by this shard's speculated ops.
+    llc: &'a mut Cache,
+    config: &'a SystemConfig,
+    line_shift: u32,
+    /// Shard-local statistics delta: private-level events only.
+    stats: HierarchyStats,
+    log: Vec<LlcOp>,
+    conflict: bool,
+}
+
+impl ShardExec<'_> {
+    /// Mirror of [`Hierarchy::access`] — every branch, fill, and latency
+    /// term corresponds 1:1 to the sequential implementation. Divergence
+    /// here is caught by replay verification (and only costs a rollback),
+    /// but the private-level halves (L1/L2 probes and fills) must stay
+    /// exactly faithful: they are authoritative.
+    fn access(&mut self, core: CoreId, access: Access, start: Cycle, now: Cycle) -> Cycle {
+        let line = LineAddr(access.addr.0 >> self.line_shift);
+        let is_write = access.kind.is_write();
+        let li = core.0 - self.base;
+
+        // ---- L1 hit ----
+        if let Some(meta) = self.l1[li].touch(line) {
+            if is_write {
+                meta.dirty = true;
+            }
+            let mut latency = self.config.l1.latency;
+            if is_write {
+                latency += self.write_upgrade(core, line, start, now);
+            }
+            self.stats.record_served(core, Level::L1, latency);
+            return latency;
+        }
+
+        // ---- L2 hit ----
+        if self.l2[li].touch(line).is_some() {
+            self.fill_l1(core, line, is_write, start, now);
+            let mut latency = self.config.l2.latency;
+            if is_write {
+                latency += self.write_upgrade(core, line, start, now);
+            }
+            self.stats.record_served(core, Level::L2, latency);
+            return latency;
+        }
+
+        // ---- L3 hit (speculative: probes the LLC clone) ----
+        if let Some(meta) = self.llc.touch(line) {
+            meta.accessed = true;
+            meta.prefetched = false;
+            meta.sharers.insert(core);
+            if is_write {
+                meta.dirty = true;
+            }
+            let mut latency = self.config.l3.latency;
+            let mut coherence = SharerSet::empty();
+            if is_write {
+                let (extra, others) = self.invalidate_other_sharers(core, line);
+                latency += extra;
+                coherence = others;
+            }
+            // prefetch-hit accounting and L3-level stats happen at replay,
+            // from the authoritative metadata.
+            self.log.push(LlcOp {
+                start,
+                core,
+                now,
+                line,
+                kind: LlcOpKind::Probe {
+                    is_write,
+                    predicted: Predicted {
+                        served: Level::L3,
+                        latency,
+                        coherence,
+                        evicted: None,
+                    },
+                },
+            });
+            self.fill_l2(core, line, start, now);
+            self.fill_l1(core, line, is_write, start, now);
+            return latency;
+        }
+
+        // ---- Memory (speculative) ----
+        // The observer's protect decision is unknowable here; the replay
+        // recomputes it. It does not affect anything the worker observes.
+        let latency = self.config.l3.latency + self.config.dram_latency;
+        let meta = LineMeta::demand_fill(core, is_write, false);
+        let evicted = self.fill_llc(line, meta);
+        self.log.push(LlcOp {
+            start,
+            core,
+            now,
+            line,
+            kind: LlcOpKind::Probe {
+                is_write,
+                predicted: Predicted {
+                    served: Level::Memory,
+                    latency,
+                    coherence: SharerSet::empty(),
+                    evicted,
+                },
+            },
+        });
+        self.fill_l2(core, line, start, now);
+        self.fill_l1(core, line, is_write, start, now);
+        latency
+    }
+
+    fn in_shard(&self, core: CoreId) -> bool {
+        self.mask & (1u64 << core.0) != 0
+    }
+
+    /// Speculative LLC fill: evict from the clone, back-invalidate the
+    /// victim's private copies *within this shard*, and report the predicted
+    /// victim. A victim shared outside the shard is a conflict — the other
+    /// shard's cores would have needed a mid-epoch back-invalidation.
+    fn fill_llc(&mut self, line: LineAddr, meta: LineMeta) -> Option<PredictedEvict> {
+        let evicted = self.llc.fill(line, meta)?;
+        if evicted.meta.sharers.bits() & !self.mask != 0 {
+            self.conflict = true;
+        }
+        let mut private_dirty = false;
+        for c in evicted.meta.sharers.iter() {
+            if !self.in_shard(c) {
+                continue;
+            }
+            let li = c.0 - self.base;
+            if let Some(m) = self.l1[li].invalidate(evicted.line) {
+                self.stats.back_invalidations += 1;
+                private_dirty |= m.dirty;
+            }
+            if let Some(m) = self.l2[li].invalidate(evicted.line) {
+                self.stats.back_invalidations += 1;
+                private_dirty |= m.dirty;
+            }
+        }
+        Some(PredictedEvict {
+            line: evicted.line,
+            sharers: evicted.meta.sharers,
+            private_dirty,
+        })
+    }
+
+    /// Mirror of `Hierarchy::fill_l2` (private levels authoritative, LLC
+    /// demotion logged).
+    fn fill_l2(&mut self, core: CoreId, line: LineAddr, start: Cycle, now: Cycle) {
+        let li = core.0 - self.base;
+        if self.l2[li].touch(line).is_some() {
+            return;
+        }
+        if let Some(evicted) = self.l2[li].fill(line, LineMeta::default()) {
+            let mut dirty = evicted.meta.dirty;
+            if let Some(m) = self.l1[li].invalidate(evicted.line) {
+                self.stats.back_invalidations += 1;
+                dirty |= m.dirty;
+            }
+            self.demote(core, evicted.line, dirty, start, now);
+        }
+    }
+
+    /// Mirror of `Hierarchy::fill_l1`.
+    fn fill_l1(&mut self, core: CoreId, line: LineAddr, is_write: bool, start: Cycle, now: Cycle) {
+        let li = core.0 - self.base;
+        if let Some(meta) = self.l1[li].touch(line) {
+            meta.dirty |= is_write;
+            return;
+        }
+        let meta = LineMeta {
+            dirty: is_write,
+            ..LineMeta::default()
+        };
+        if let Some(evicted) = self.l1[li].fill(line, meta) {
+            if evicted.meta.dirty {
+                if let Some(m) = self.l2[li].peek_mut(evicted.line) {
+                    m.dirty = true;
+                } else {
+                    self.demote(core, evicted.line, true, start, now);
+                }
+            }
+        }
+    }
+
+    /// Mirror of `Hierarchy::demote_private_copy`: applied to the clone and
+    /// logged. Demotions carry no latency and touch no private state, so
+    /// the replay applies them authoritatively without verification.
+    fn demote(&mut self, core: CoreId, line: LineAddr, dirty: bool, start: Cycle, now: Cycle) {
+        if let Some(m) = self.llc.peek_mut(line) {
+            m.sharers.remove(core);
+            m.dirty |= dirty;
+        }
+        // Writeback accounting for a vanished LLC copy happens at replay.
+        self.log.push(LlcOp {
+            start,
+            core,
+            now,
+            line,
+            kind: LlcOpKind::Demote {
+                private_dirty: dirty,
+            },
+        });
+    }
+
+    /// Mirror of `Hierarchy::write_upgrade`, always logged — even when the
+    /// clone misses the line — so the replay can detect an upgrade that the
+    /// authoritative LLC would have charged differently.
+    fn write_upgrade(&mut self, core: CoreId, line: LineAddr, start: Cycle, now: Cycle) -> Cycle {
+        let mut needs_invalidation = false;
+        if let Some(meta) = self.llc.peek_mut(line) {
+            meta.dirty = true;
+            if !meta.sharers.is_sole(core) && !meta.sharers.is_empty() {
+                needs_invalidation = true;
+            } else {
+                meta.sharers.insert(core);
+            }
+        }
+        let (extra, others) = if needs_invalidation {
+            self.invalidate_other_sharers(core, line)
+        } else {
+            (0, SharerSet::empty())
+        };
+        self.log.push(LlcOp {
+            start,
+            core,
+            now,
+            line,
+            kind: LlcOpKind::WriteUpgrade {
+                predicted_extra: extra,
+                predicted_others: others,
+            },
+        });
+        extra
+    }
+
+    /// Mirror of `Hierarchy::invalidate_other_sharers`, restricted to this
+    /// shard; an out-of-shard sharer is a conflict.
+    fn invalidate_other_sharers(&mut self, core: CoreId, line: LineAddr) -> (Cycle, SharerSet) {
+        let Some(meta) = self.llc.peek(line) else {
+            return (0, SharerSet::empty());
+        };
+        let sharers = meta.sharers;
+        let mut others = SharerSet::empty();
+        for other in sharers.iter() {
+            if other == core {
+                continue;
+            }
+            others.insert(other);
+            if !self.in_shard(other) {
+                self.conflict = true;
+                continue;
+            }
+            let li = other.0 - self.base;
+            if self.l1[li].invalidate(line).is_some() {
+                self.stats.coherence_invalidations += 1;
+            }
+            if self.l2[li].invalidate(line).is_some() {
+                self.stats.coherence_invalidations += 1;
+            }
+        }
+        if others.is_empty() {
+            return (0, SharerSet::empty());
+        }
+        if let Some(meta) = self.llc.peek_mut(line) {
+            meta.sharers = SharerSet::only(core);
+        }
+        (self.config.l3.latency, others)
+    }
+}
+
+/// A verification failure: some worker prediction diverged from the
+/// authoritative replay, or an op crossed a shard boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Conflict;
+
+/// Merges the shard logs in `(step start, core id)` order — the sequential
+/// scheduler's key — and replays every op against the authoritative LLC,
+/// DRAM, statistics, and observer, verifying worker predictions.
+///
+/// On `Err(Conflict)` the hierarchy and observer are left partially mutated;
+/// the caller must restore them from its epoch-start snapshots.
+pub(crate) fn replay_logs(
+    logs: &[&[LlcOp]],
+    masks: &[u64],
+    hierarchy: &mut Hierarchy,
+    observer: &mut dyn TrafficObserver,
+) -> Result<u64, Conflict> {
+    let mut cursor = vec![0usize; logs.len()];
+    let mut replayed = 0u64;
+    loop {
+        let mut best: Option<((Cycle, usize), usize)> = None;
+        for (shard, log) in logs.iter().enumerate() {
+            if let Some(op) = log.get(cursor[shard]) {
+                let key = (op.start, op.core.0);
+                if best.is_none_or(|(bk, _)| key < bk) {
+                    best = Some((key, shard));
+                }
+            }
+        }
+        let Some((_, shard)) = best else {
+            break;
+        };
+        let op = logs[shard][cursor[shard]];
+        cursor[shard] += 1;
+        replay_op(&op, masks, hierarchy, observer)?;
+        replayed += 1;
+    }
+    Ok(replayed)
+}
+
+fn replay_op(
+    op: &LlcOp,
+    masks: &[u64],
+    hierarchy: &mut Hierarchy,
+    observer: &mut dyn TrafficObserver,
+) -> Result<(), Conflict> {
+    let core = op.core;
+    let line = op.line;
+    match op.kind {
+        LlcOpKind::Probe {
+            is_write,
+            predicted,
+        } => {
+            if let Some(meta) = hierarchy.l3.touch(line) {
+                // Authoritative L3 hit.
+                if predicted.served != Level::L3 {
+                    return Err(Conflict);
+                }
+                let prefetch_hit = meta.prefetched && !meta.accessed;
+                meta.accessed = true;
+                meta.prefetched = false;
+                meta.sharers.insert(core);
+                if is_write {
+                    meta.dirty = true;
+                }
+                if prefetch_hit {
+                    hierarchy.stats.prefetch_hits += 1;
+                }
+                let mut latency = hierarchy.config.l3.latency;
+                if is_write {
+                    latency += replay_invalidate_others(
+                        hierarchy,
+                        core,
+                        line,
+                        predicted.coherence,
+                        masks,
+                    )?;
+                } else if !predicted.coherence.is_empty() {
+                    return Err(Conflict);
+                }
+                if latency != predicted.latency {
+                    return Err(Conflict);
+                }
+                hierarchy.stats.record_served(core, Level::L3, latency);
+            } else {
+                // Authoritative memory fetch.
+                if predicted.served != Level::Memory {
+                    return Err(Conflict);
+                }
+                let protect = observer.on_memory_fetch(line, op.now);
+                let latency = hierarchy.config.l3.latency + hierarchy.dram.read();
+                if latency != predicted.latency {
+                    return Err(Conflict);
+                }
+                let meta = LineMeta::demand_fill(core, is_write, protect);
+                replay_fill(
+                    hierarchy,
+                    observer,
+                    core,
+                    line,
+                    meta,
+                    predicted.evicted,
+                    op.now,
+                    masks,
+                )?;
+                hierarchy.stats.record_served(core, Level::Memory, latency);
+            }
+        }
+        LlcOpKind::WriteUpgrade {
+            predicted_extra,
+            predicted_others,
+        } => {
+            let mut needs_invalidation = false;
+            if let Some(meta) = hierarchy.l3.peek_mut(line) {
+                meta.dirty = true;
+                if !meta.sharers.is_sole(core) && !meta.sharers.is_empty() {
+                    needs_invalidation = true;
+                } else {
+                    meta.sharers.insert(core);
+                }
+            }
+            let extra = if needs_invalidation {
+                replay_invalidate_others(hierarchy, core, line, predicted_others, masks)?
+            } else {
+                if !predicted_others.is_empty() {
+                    return Err(Conflict);
+                }
+                0
+            };
+            if extra != predicted_extra {
+                return Err(Conflict);
+            }
+        }
+        LlcOpKind::Demote { private_dirty } => {
+            // Demotions carry no worker-visible outcome: apply
+            // authoritatively (mirror of `demote_private_copy`).
+            if let Some(m) = hierarchy.l3.peek_mut(line) {
+                m.sharers.remove(core);
+                m.dirty |= private_dirty;
+            } else if private_dirty {
+                hierarchy.dram.write();
+                hierarchy.stats.writebacks += 1;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Authoritative LLC fill with eviction verification (mirror of
+/// `Hierarchy::fill_l3`, with the private back-invalidation replaced by the
+/// check that the worker already performed exactly it).
+#[allow(clippy::too_many_arguments)]
+fn replay_fill(
+    hierarchy: &mut Hierarchy,
+    observer: &mut dyn TrafficObserver,
+    core: CoreId,
+    line: LineAddr,
+    meta: LineMeta,
+    predicted: Option<PredictedEvict>,
+    now: Cycle,
+    masks: &[u64],
+) -> Result<(), Conflict> {
+    match (hierarchy.l3.fill(line, meta), predicted) {
+        (None, None) => Ok(()),
+        (None, Some(pe)) => {
+            // The worker evicted a victim the authoritative LLC did not.
+            // Harmless only if the worker's victim had no private copies.
+            if pe.sharers.is_empty() {
+                Ok(())
+            } else {
+                Err(Conflict)
+            }
+        }
+        (Some(evicted), pred) => {
+            hierarchy.stats.llc_evictions += 1;
+            let (pe_line, pe_sharers, pe_private_dirty) = match pred {
+                Some(pe) => (Some(pe.line), pe.sharers, pe.private_dirty),
+                None => (None, SharerSet::empty(), false),
+            };
+            let dirty;
+            if pe_line == Some(evicted.line) && pe_sharers == evicted.meta.sharers {
+                // Exact prediction: the worker back-invalidated precisely
+                // the private copies the sequential engine would have —
+                // provided none lay outside the worker's shard.
+                if evicted.meta.sharers.bits() & !masks[core.0] != 0 {
+                    return Err(Conflict);
+                }
+                dirty = evicted.meta.dirty | pe_private_dirty;
+            } else if evicted.meta.sharers.is_empty() && pe_sharers.is_empty() {
+                // Victim mismatch with no private copies on either side: no
+                // back-invalidation was needed or performed, the observer is
+                // notified with the authoritative victim below, and the
+                // worker's clone divergence is discarded at the barrier.
+                dirty = evicted.meta.dirty;
+            } else {
+                return Err(Conflict);
+            }
+            if dirty {
+                hierarchy.dram.write();
+                hierarchy.stats.writebacks += 1;
+            }
+            observer.on_llc_eviction(
+                evicted.line,
+                evicted.meta.protected,
+                evicted.meta.accessed,
+                now,
+            );
+            Ok(())
+        }
+    }
+}
+
+/// Authoritative mirror of `Hierarchy::invalidate_other_sharers`: updates
+/// the directory and charges latency, verifying that the worker invalidated
+/// exactly the authoritative sharer set (all of it inside the op's shard).
+/// The private-copy invalidations themselves were already performed — and
+/// counted — by the worker.
+fn replay_invalidate_others(
+    hierarchy: &mut Hierarchy,
+    core: CoreId,
+    line: LineAddr,
+    predicted_others: SharerSet,
+    masks: &[u64],
+) -> Result<Cycle, Conflict> {
+    let Some(meta) = hierarchy.l3.peek(line) else {
+        return if predicted_others.is_empty() {
+            Ok(0)
+        } else {
+            Err(Conflict)
+        };
+    };
+    let mut others = meta.sharers;
+    others.remove(core);
+    if others != predicted_others {
+        return Err(Conflict);
+    }
+    if others.bits() & !masks[core.0] != 0 {
+        return Err(Conflict);
+    }
+    if others.is_empty() {
+        return Ok(0);
+    }
+    if let Some(meta) = hierarchy.l3.peek_mut(line) {
+        meta.sharers = SharerSet::only(core);
+    }
+    Ok(hierarchy.config.l3.latency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_sizes_partition_evenly() {
+        assert_eq!(shard_sizes(8, 4), vec![2, 2, 2, 2]);
+        assert_eq!(shard_sizes(7, 4), vec![2, 2, 2, 1]);
+        assert_eq!(shard_sizes(4, 8), vec![1, 1, 1, 1]);
+        assert_eq!(shard_sizes(3, 1), vec![3]);
+        assert_eq!(shard_sizes(1, 1), vec![1]);
+        for (cores, shards) in [(13, 5), (64, 7), (2, 2)] {
+            let sizes = shard_sizes(cores, shards);
+            assert_eq!(sizes.iter().sum::<usize>(), cores);
+            assert!(sizes.iter().all(|&s| s > 0));
+        }
+    }
+
+    #[test]
+    fn shard_masks_cover_all_cores_disjointly() {
+        let masks = shard_masks(13, 5);
+        assert_eq!(masks.len(), 13);
+        for (core, mask) in masks.iter().enumerate() {
+            assert_ne!(mask & (1 << core), 0, "core {core} not in its own mask");
+        }
+        // Masks of different shards are disjoint; within a shard, equal.
+        let distinct: std::collections::BTreeSet<u64> = masks.iter().copied().collect();
+        assert_eq!(distinct.len(), 5);
+        assert_eq!(distinct.iter().fold(0, |a, m| a | m), (1 << 13) - 1);
+        let or: u64 = distinct.iter().sum(); // disjoint ⇒ sum == or
+        assert_eq!(or, (1 << 13) - 1);
+    }
+
+    #[test]
+    fn mask_of_range_full_width() {
+        assert_eq!(mask_of_range(0, 64), u64::MAX);
+        assert_eq!(mask_of_range(0, 1), 1);
+        assert_eq!(mask_of_range(62, 2), 0b11 << 62);
+    }
+
+    #[test]
+    fn default_shard_spec_uses_host_parallelism() {
+        let spec = ShardSpec::default();
+        assert!(spec.shards >= 1);
+        assert_eq!(spec.epoch_cycles, DEFAULT_EPOCH_CYCLES);
+        let custom = ShardSpec::new(4).with_epoch_cycles(100);
+        assert_eq!(custom.shards, 4);
+        assert_eq!(custom.epoch_cycles, 100);
+    }
+}

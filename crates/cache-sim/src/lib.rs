@@ -26,6 +26,13 @@
 //! engine's results bit-exactly and `tests/no_alloc_hot_path.rs` counts
 //! allocations to keep these properties honest.
 //!
+//! A single large simulation can additionally be spread across host threads
+//! with [`System::run_sharded`]: the [`epoch`] module implements an
+//! optimistic shard/epoch/merge protocol whose results are bit-identical to
+//! [`System::run`] for any shard count (pinned by
+//! `tests/sharded_regression.rs`). See `ARCHITECTURE.md` at the repository
+//! root for the execution model.
+//!
 //! # Examples
 //!
 //! ```
@@ -46,6 +53,7 @@ pub mod cache;
 pub mod config;
 pub mod core;
 pub mod dram;
+pub mod epoch;
 pub mod hierarchy;
 pub mod line;
 pub mod observer;
@@ -58,6 +66,7 @@ pub use cache::{Cache, EvictedLine};
 pub use config::{CacheGeometry, SystemConfig};
 pub use core::{Access, AccessSource, Core};
 pub use dram::Dram;
+pub use epoch::{EpochTelemetry, ShardSpec, DEFAULT_EPOCH_CYCLES};
 pub use hierarchy::Hierarchy;
 pub use line::{LineMeta, SharerSet};
 pub use observer::{NullObserver, RecordingObserver, TrafficObserver};

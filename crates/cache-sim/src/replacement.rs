@@ -1,9 +1,9 @@
 //! Replacement policies for the set-associative caches.
 //!
 //! The paper does not vary replacement policy; LRU is the default. Tree-PLRU
-//! and random replacement are provided for the ablation harness (DESIGN.md
-//! §6) because detection-based defenses interact with how predictable LLC
-//! evictions are.
+//! and random replacement are provided for the ablation harness (see
+//! "Recorded substitutions" in `ARCHITECTURE.md`) because detection-based
+//! defenses interact with how predictable LLC evictions are.
 //!
 //! LRU recency stamps do **not** live here: they are interleaved with the
 //! tags inside [`Cache`](crate::Cache)'s way array, so a lookup and its

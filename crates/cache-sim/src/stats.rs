@@ -28,6 +28,12 @@ impl LevelStats {
             self.misses as f64 / total as f64
         }
     }
+
+    /// Adds another counter set into this one (shard-merge step).
+    pub fn absorb(&mut self, other: &LevelStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
 }
 
 /// Per-core access statistics.
@@ -43,6 +49,17 @@ pub struct CoreStats {
     pub memory_fetches: u64,
     /// Cycles this core spent stalled on memory accesses.
     pub stall_cycles: Cycle,
+}
+
+impl CoreStats {
+    /// Adds another core's counters into this one (shard-merge step).
+    pub fn absorb(&mut self, other: &CoreStats) {
+        self.l1.absorb(&other.l1);
+        self.l2.absorb(&other.l2);
+        self.l3.absorb(&other.l3);
+        self.memory_fetches += other.memory_fetches;
+        self.stall_cycles += other.stall_cycles;
+    }
 }
 
 /// Whole-hierarchy statistics.
@@ -134,6 +151,33 @@ impl HierarchyStats {
     #[must_use]
     pub fn total_memory_fetches(&self) -> u64 {
         self.per_core.iter().map(|c| c.memory_fetches).sum()
+    }
+
+    /// Adds another statistics block into this one.
+    ///
+    /// This is the shard-merge step of the epoch-parallel engine: every
+    /// counter is a sum, so absorbing shard-local deltas is associative and
+    /// commutative — combining shards in any order yields identical totals
+    /// (pinned by `tests/observer_merge.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two blocks track a different number of cores.
+    pub fn absorb(&mut self, other: &HierarchyStats) {
+        assert_eq!(
+            self.per_core.len(),
+            other.per_core.len(),
+            "cannot merge statistics of differently sized systems"
+        );
+        for (mine, theirs) in self.per_core.iter_mut().zip(&other.per_core) {
+            mine.absorb(theirs);
+        }
+        self.llc_evictions += other.llc_evictions;
+        self.back_invalidations += other.back_invalidations;
+        self.coherence_invalidations += other.coherence_invalidations;
+        self.writebacks += other.writebacks;
+        self.prefetch_fills += other.prefetch_fills;
+        self.prefetch_hits += other.prefetch_hits;
     }
 }
 

@@ -18,8 +18,11 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::AtomicBool;
 
+use crate::cache::Cache;
 use crate::core::{AccessSource, Core};
+use crate::epoch::{self, EpochTelemetry, ShardSpec, ShardTask};
 use crate::hierarchy::Hierarchy;
 use crate::observer::TrafficObserver;
 use crate::stats::HierarchyStats;
@@ -100,6 +103,15 @@ pub struct System<O: TrafficObserver> {
     /// Reusable scheduler heap of `(next event time, core index)`; kept
     /// across runs so repeated [`run`](Self::run) calls do not reallocate.
     schedule: BinaryHeap<Reverse<(Cycle, usize)>>,
+    /// Execution counters of the last [`run_sharded`](Self::run_sharded)
+    /// call; `None` after a plain [`run`](Self::run).
+    telemetry: Option<EpochTelemetry>,
+    /// Per-shard speculative LLC copies, allocated on the first sharded
+    /// epoch and reused across epochs (and runs) so speculation never
+    /// re-allocates LLC-sized buffers.
+    shard_llc: Vec<Cache>,
+    /// Pre-replay LLC backup, likewise reused across epochs.
+    llc_backup: Option<Cache>,
 }
 
 /// A source that immediately reports exhaustion (default for cores without
@@ -126,6 +138,9 @@ impl<O: TrafficObserver> System<O> {
             cores,
             observer,
             schedule,
+            telemetry: None,
+            shard_llc: Vec::new(),
+            llc_backup: None,
         }
     }
 
@@ -163,9 +178,23 @@ impl<O: TrafficObserver> System<O> {
     /// scheduler heap, the observer's prefetch queue, and the drain buffer
     /// are all reused across steps.
     pub fn run(&mut self, instructions_per_core: u64) -> SimReport {
+        self.telemetry = None;
+        self.run_window(instructions_per_core, Cycle::MAX);
+        self.finish_run()
+    }
+
+    /// Executes every step whose start time falls before `t_end` (pass
+    /// [`Cycle::MAX`] for an unbounded run). This is the sequential engine
+    /// proper; [`run`](Self::run) is one unbounded window and
+    /// [`run_sharded`](Self::run_sharded) re-executes rolled-back or
+    /// prefetch-gated epochs through bounded windows. Because the scheduler
+    /// orders steps globally by `(start time, core index)`, a run chopped
+    /// into windows executes the exact step sequence of an unbounded run.
+    fn run_window(&mut self, instructions_per_core: u64, t_end: Cycle) {
         self.schedule.clear();
         for (idx, core) in self.cores.iter().enumerate() {
-            if !core.is_exhausted() && core.retired() < instructions_per_core {
+            if !core.is_exhausted() && core.retired() < instructions_per_core && core.now() < t_end
+            {
                 self.schedule.push(Reverse((core.now(), idx)));
             }
         }
@@ -176,6 +205,9 @@ impl<O: TrafficObserver> System<O> {
             // min-scan produced, minus the per-step scan).
             loop {
                 let now = self.cores[idx].now();
+                if now >= t_end {
+                    break; // The core's next step belongs to a later window.
+                }
                 if self
                     .observer
                     .next_prefetch_due()
@@ -198,7 +230,11 @@ impl<O: TrafficObserver> System<O> {
                 }
             }
         }
-        // Flush any prefetches still pending at the end of the run.
+    }
+
+    /// Flushes pending prefetches and assembles the report (shared tail of
+    /// [`run`](Self::run) and [`run_sharded`](Self::run_sharded)).
+    fn finish_run(&mut self) -> SimReport {
         let end = self.cores.iter().map(Core::now).max().unwrap_or(0);
         self.hierarchy.drain_prefetches(end, &mut self.observer);
         SimReport {
@@ -208,6 +244,225 @@ impl<O: TrafficObserver> System<O> {
             dram_reads: self.hierarchy.dram().reads(),
             dram_prefetch_reads: self.hierarchy.dram().prefetch_reads(),
             dram_writes: self.hierarchy.dram().writes(),
+        }
+    }
+
+    /// Telemetry of the last [`run_sharded`](Self::run_sharded) call: how
+    /// many epochs ran in parallel, committed, or rolled back. `None` after
+    /// a plain [`run`](Self::run).
+    #[must_use]
+    pub fn epoch_telemetry(&self) -> Option<&EpochTelemetry> {
+        self.telemetry.as_ref()
+    }
+}
+
+impl<O: TrafficObserver + Clone> System<O> {
+    /// Like [`run`](Self::run), but advances shards of cores on parallel
+    /// worker threads using the optimistic epoch protocol described in the
+    /// [`epoch`] module.
+    ///
+    /// The result is **bit-identical** to [`run`](Self::run) for any shard
+    /// count and epoch length: every parallel epoch is verified against an
+    /// authoritative sequential replay of its LLC operations and rolled back
+    /// to sequential re-execution on any divergence. The observer must be
+    /// `Clone` so it can be snapshotted for rollback.
+    ///
+    /// Inspect [`epoch_telemetry`](Self::epoch_telemetry) afterwards to see
+    /// how much of the run actually committed in parallel.
+    pub fn run_sharded(&mut self, instructions_per_core: u64, spec: ShardSpec) -> SimReport {
+        let shards = spec.shards.clamp(1, self.cores.len().max(1));
+        let base_cycles = spec.epoch_cycles.max(1);
+        // Adaptive windowing: the per-epoch snapshot cost (LLC clones for
+        // every worker plus the rollback backup) is independent of window
+        // length, so commit-heavy workloads want long windows while
+        // conflict-heavy ones want short windows that bound the wasted
+        // speculation. Double the window after every committed epoch (capped
+        // at 64× the base) and reset to the base on rollback — the commit
+        // history is deterministic, so the window sequence (and the result)
+        // stays deterministic too.
+        const MAX_WINDOW_GROWTH: Cycle = 64;
+        let max_cycles = base_cycles.saturating_mul(MAX_WINDOW_GROWTH);
+        let mut window = base_cycles;
+        let mut telemetry = EpochTelemetry::default();
+        if shards <= 1 {
+            // One shard is the sequential engine.
+            self.run_window(instructions_per_core, Cycle::MAX);
+            self.telemetry = Some(telemetry);
+            return self.finish_run();
+        }
+        let masks = epoch::shard_masks(self.cores.len(), shards);
+        loop {
+            let cur = self
+                .cores
+                .iter()
+                .filter(|c| !c.is_exhausted() && c.retired() < instructions_per_core)
+                .map(Core::now)
+                .min();
+            let Some(cur) = cur else { break };
+            let t_end = cur.saturating_add(window);
+            if t_end <= cur {
+                // Clock saturated; no window can make progress in parallel.
+                self.run_window(instructions_per_core, Cycle::MAX);
+                break;
+            }
+            if self
+                .observer
+                .next_prefetch_due()
+                .is_some_and(|due| due < t_end)
+            {
+                // A monitor prefetch lands inside this window: its drain
+                // point depends on the global step schedule, so run the
+                // window sequentially.
+                self.run_window(instructions_per_core, t_end);
+                telemetry.sequential_windows += 1;
+                continue;
+            }
+            telemetry.parallel_epochs += 1;
+            let outcomes = self.speculate_epoch(shards, instructions_per_core, t_end);
+            if outcomes.iter().any(epoch::ShardOutcome::conflicted) {
+                self.rollback(outcomes);
+                telemetry.rollbacks += 1;
+                self.run_window(instructions_per_core, t_end);
+                telemetry.sequential_windows += 1;
+                window = base_cycles;
+                continue;
+            }
+            // Snapshot the shared state the replay mutates, then verify.
+            // The LLC backup reuses a persistent buffer (`clone_from`); the
+            // rest is small enough to clone fresh.
+            match &mut self.llc_backup {
+                Some(backup) => backup.clone_from(&self.hierarchy.l3),
+                None => self.llc_backup = Some(self.hierarchy.l3.clone()),
+            }
+            let dram_backup = self.hierarchy.dram.clone();
+            let stats_backup = self.hierarchy.stats.clone();
+            let observer_backup = self.observer.clone();
+            let logs: Vec<&[epoch::LlcOp]> =
+                outcomes.iter().map(epoch::ShardOutcome::log).collect();
+            let replayed =
+                epoch::replay_logs(&logs, &masks, &mut self.hierarchy, &mut self.observer);
+            drop(logs);
+            let committed = match replayed {
+                // A prefetch scheduled during the replay that falls due
+                // inside the epoch would have been drained mid-epoch by the
+                // sequential engine: treat it as a conflict.
+                Ok(ops) => {
+                    if self
+                        .observer
+                        .next_prefetch_due()
+                        .is_some_and(|due| due < t_end)
+                    {
+                        None
+                    } else {
+                        Some(ops)
+                    }
+                }
+                Err(epoch::Conflict) => None,
+            };
+            match committed {
+                Some(ops) => {
+                    for outcome in &outcomes {
+                        self.hierarchy.stats.absorb(outcome.stats());
+                    }
+                    telemetry.committed_epochs += 1;
+                    telemetry.llc_ops_replayed += ops;
+                    window = window.saturating_mul(2).min(max_cycles);
+                }
+                None => {
+                    // Swap the trashed LLC out for the backup; the backup
+                    // buffer (now holding garbage) is overwritten by
+                    // `clone_from` on the next epoch.
+                    std::mem::swap(
+                        &mut self.hierarchy.l3,
+                        self.llc_backup.as_mut().expect("backup taken above"),
+                    );
+                    self.hierarchy.dram = dram_backup;
+                    self.hierarchy.stats = stats_backup;
+                    self.observer = observer_backup;
+                    self.rollback(outcomes);
+                    telemetry.rollbacks += 1;
+                    self.run_window(instructions_per_core, t_end);
+                    telemetry.sequential_windows += 1;
+                    window = base_cycles;
+                }
+            }
+        }
+        self.telemetry = Some(telemetry);
+        self.finish_run()
+    }
+
+    /// Runs the speculate phase of one epoch: partitions cores and their
+    /// private caches into contiguous shards and advances each on its own
+    /// worker thread against a clone of the LLC.
+    fn speculate_epoch(
+        &mut self,
+        shards: usize,
+        instructions_per_core: u64,
+        t_end: Cycle,
+    ) -> Vec<epoch::ShardOutcome> {
+        let total_cores = self.cores.len();
+        let sizes = epoch::shard_sizes(total_cores, shards);
+        let stop = AtomicBool::new(false);
+        // Per-shard scratch LLCs are lazily grown once, then reused: each
+        // worker `clone_from`s the epoch-start snapshot into its buffer.
+        while self.shard_llc.len() < sizes.len() {
+            self.shard_llc.push(self.hierarchy.l3.clone());
+        }
+        let Hierarchy {
+            config,
+            l1,
+            l2,
+            l3,
+            line_shift,
+            ..
+        } = &mut self.hierarchy;
+        let config: &crate::config::SystemConfig = config;
+        let l3: &Cache = l3;
+        let line_shift = *line_shift;
+        std::thread::scope(|scope| {
+            let mut cores_rest: &mut [Core] = &mut self.cores;
+            let mut l1_rest: &mut [Cache] = l1;
+            let mut l2_rest: &mut [Cache] = l2;
+            let mut scratch_rest: &mut [Cache] = &mut self.shard_llc;
+            let mut base = 0usize;
+            let mut handles = Vec::with_capacity(sizes.len());
+            for &size in &sizes {
+                let (shard_cores, rest) = cores_rest.split_at_mut(size);
+                cores_rest = rest;
+                let (shard_l1, rest) = l1_rest.split_at_mut(size);
+                l1_rest = rest;
+                let (shard_l2, rest) = l2_rest.split_at_mut(size);
+                l2_rest = rest;
+                let (scratch, rest) = scratch_rest.split_at_mut(1);
+                scratch_rest = rest;
+                let task = ShardTask {
+                    base,
+                    total_cores,
+                    cores: shard_cores,
+                    l1: shard_l1,
+                    l2: shard_l2,
+                    llc: l3,
+                    llc_scratch: &mut scratch[0],
+                    config,
+                    line_shift,
+                };
+                let stop = &stop;
+                handles.push(scope.spawn(move || {
+                    epoch::run_shard_epoch(task, instructions_per_core, t_end, stop)
+                }));
+                base += size;
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker thread panicked"))
+                .collect()
+        })
+    }
+
+    /// Restores every shard to its epoch-start state.
+    fn rollback(&mut self, outcomes: Vec<epoch::ShardOutcome>) {
+        for outcome in outcomes {
+            epoch::rollback_shard(outcome, &mut self.cores, &mut self.hierarchy);
         }
     }
 }

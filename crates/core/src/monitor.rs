@@ -26,6 +26,24 @@ pub struct MonitorStats {
     pub prefetches_suppressed: u64,
 }
 
+impl MonitorStats {
+    /// Adds another statistics block into this one.
+    ///
+    /// Every counter is a plain sum, so combining deltas from independent
+    /// monitor instances (e.g. harness aggregation across runs) is
+    /// associative and commutative: any merge order produces identical
+    /// totals. The epoch-parallel engine relies on the snapshot/restore of
+    /// the whole observer instead of merging, but the property tests in
+    /// `tests/observer_merge.rs` pin this contract for aggregating callers.
+    pub fn absorb(&mut self, other: &MonitorStats) {
+        self.fetches_observed += other.fetches_observed;
+        self.captures += other.captures;
+        self.pevicts += other.pevicts;
+        self.prefetches_scheduled += other.prefetches_scheduled;
+        self.prefetches_suppressed += other.prefetches_suppressed;
+    }
+}
+
 /// The monitor deployed in the memory controller (paper Fig. 2).
 ///
 /// Use it as the observer of a [`cache_sim::System`] (or pass it to

@@ -4,7 +4,7 @@
 //! scaled linearly from the paper's published CACTI 7 numbers at 22 nm
 //! (0.013 mm² for the 15 KB, 8192-entry configuration against a 4 MB LLC);
 //! CACTI itself is not available offline, so this substitution is documented
-//! in DESIGN.md.
+//! under "Recorded substitutions" in `ARCHITECTURE.md`.
 
 use auto_cuckoo::{FilterParams, StorageOverhead};
 

@@ -1,0 +1,326 @@
+//! Bit-identity regression for the epoch-parallel engine: for every bundled
+//! workload — all ten Table III mixes, the bundled trace corpus, and a
+//! cross-core conflict stress — [`System::run_sharded`] must produce exactly
+//! the same [`SimReport`] (and monitor statistics) as [`System::run`], for
+//! any shard count and epoch length.
+//!
+//! This is the determinism contract of `crates/cache-sim/src/epoch.rs`:
+//! parallel speculation may only ever *fall back* to sequential execution
+//! (rollbacks), never change results. The stress cases are chosen so both
+//! the commit path and the rollback path are exercised (asserted via
+//! [`System::epoch_telemetry`]).
+
+use cache_sim::{Access, Addr, CoreId, NullObserver, ShardSpec, SimReport, System, SystemConfig};
+use pipo_workloads::{all_mixes, ProfileSource, Trace};
+use pipomonitor::{MonitorConfig, MonitorStats, PiPoMonitor};
+
+/// Every observable of a run, flattened for exact comparison.
+#[derive(Debug, PartialEq, Eq)]
+struct Fingerprint {
+    completion_cycles: Vec<u64>,
+    instructions: Vec<u64>,
+    llc_evictions: u64,
+    back_invalidations: u64,
+    coherence_invalidations: u64,
+    writebacks: u64,
+    prefetch_fills: u64,
+    prefetch_hits: u64,
+    memory_fetches: Vec<u64>,
+    l1_hits: Vec<u64>,
+    l2_hits: Vec<u64>,
+    l3_hits: Vec<u64>,
+    stall_cycles: Vec<u64>,
+    dram_reads: u64,
+    dram_prefetch_reads: u64,
+    dram_writes: u64,
+}
+
+fn fingerprint(report: &SimReport) -> Fingerprint {
+    Fingerprint {
+        completion_cycles: report.completion_cycles.clone(),
+        instructions: report.instructions.clone(),
+        llc_evictions: report.stats.llc_evictions,
+        back_invalidations: report.stats.back_invalidations,
+        coherence_invalidations: report.stats.coherence_invalidations,
+        writebacks: report.stats.writebacks,
+        prefetch_fills: report.stats.prefetch_fills,
+        prefetch_hits: report.stats.prefetch_hits,
+        memory_fetches: report
+            .stats
+            .per_core
+            .iter()
+            .map(|c| c.memory_fetches)
+            .collect(),
+        l1_hits: report.stats.per_core.iter().map(|c| c.l1.hits).collect(),
+        l2_hits: report.stats.per_core.iter().map(|c| c.l2.hits).collect(),
+        l3_hits: report.stats.per_core.iter().map(|c| c.l3.hits).collect(),
+        stall_cycles: report
+            .stats
+            .per_core
+            .iter()
+            .map(|c| c.stall_cycles)
+            .collect(),
+        dram_reads: report.dram_reads,
+        dram_prefetch_reads: report.dram_prefetch_reads,
+        dram_writes: report.dram_writes,
+    }
+}
+
+/// Builds a monitored system running `mix` and returns its report plus
+/// monitor statistics, using `run` to drive it.
+fn run_mix_monitored(
+    mix_index: usize,
+    seed: u64,
+    run: impl FnOnce(&mut System<PiPoMonitor>) -> SimReport,
+) -> (Fingerprint, MonitorStats) {
+    let mix = &all_mixes()[mix_index];
+    let monitor = PiPoMonitor::new(MonitorConfig::paper_default()).expect("valid config");
+    let mut system = System::new(SystemConfig::paper_default(), monitor);
+    for (core, bench) in mix.benchmarks.iter().enumerate() {
+        system.set_source(
+            CoreId(core),
+            Box::new(ProfileSource::new(bench, core, seed)),
+        );
+    }
+    let report = run(&mut system);
+    let stats = *system.observer().stats();
+    (fingerprint(&report), stats)
+}
+
+fn run_mix_baseline(
+    mix_index: usize,
+    seed: u64,
+    run: impl FnOnce(&mut System<NullObserver>) -> SimReport,
+) -> Fingerprint {
+    let mix = &all_mixes()[mix_index];
+    let mut system = System::new(SystemConfig::paper_default(), NullObserver);
+    for (core, bench) in mix.benchmarks.iter().enumerate() {
+        system.set_source(
+            CoreId(core),
+            Box::new(ProfileSource::new(bench, core, seed)),
+        );
+    }
+    let report = run(&mut system);
+    fingerprint(&report)
+}
+
+const INSTRUCTIONS: u64 = 60_000;
+const SEED: u64 = 11;
+
+/// All ten mixes under PiPoMonitor: sharded == sequential, bit for bit.
+#[test]
+fn all_mixes_monitored_sharded_matches_sequential() {
+    for mix_index in 0..all_mixes().len() {
+        let (seq, seq_stats) = run_mix_monitored(mix_index, SEED, |s| s.run(INSTRUCTIONS));
+        let (sharded, sharded_stats) = run_mix_monitored(mix_index, SEED, |s| {
+            s.run_sharded(INSTRUCTIONS, ShardSpec::new(2))
+        });
+        assert_eq!(seq, sharded, "mix{} diverged under 2 shards", mix_index + 1);
+        assert_eq!(
+            seq_stats,
+            sharded_stats,
+            "mix{} monitor stats diverged",
+            mix_index + 1
+        );
+    }
+}
+
+/// A subset of mixes across several shard counts and epoch lengths,
+/// including epochs short enough to stress the barrier logic.
+#[test]
+fn shard_count_and_epoch_length_do_not_matter() {
+    for mix_index in [0, 6] {
+        let (seq, seq_stats) = run_mix_monitored(mix_index, SEED, |s| s.run(INSTRUCTIONS));
+        for (shards, epoch_cycles) in [(2, 1_500), (3, 16_384), (4, 100_000)] {
+            let spec = ShardSpec::new(shards).with_epoch_cycles(epoch_cycles);
+            let (sharded, sharded_stats) =
+                run_mix_monitored(mix_index, SEED, |s| s.run_sharded(INSTRUCTIONS, spec));
+            assert_eq!(
+                seq,
+                sharded,
+                "mix{} diverged with {shards} shards / {epoch_cycles}-cycle epochs",
+                mix_index + 1
+            );
+            assert_eq!(seq_stats, sharded_stats);
+        }
+    }
+}
+
+/// Unmonitored baseline (NullObserver) on every mix: the pure-parallel fast
+/// path with no prefetch gating at all.
+#[test]
+fn all_mixes_baseline_sharded_matches_sequential() {
+    for mix_index in 0..all_mixes().len() {
+        let seq = run_mix_baseline(mix_index, SEED, |s| s.run(INSTRUCTIONS));
+        let sharded = run_mix_baseline(mix_index, SEED, |s| {
+            s.run_sharded(INSTRUCTIONS, ShardSpec::new(4))
+        });
+        assert_eq!(seq, sharded, "mix{} baseline diverged", mix_index + 1);
+    }
+}
+
+/// The unmonitored mix workloads have disjoint address spaces, so epochs
+/// should overwhelmingly commit — the engine must actually be parallel, not
+/// a permanent sequential fallback.
+#[test]
+fn disjoint_workloads_commit_parallel_epochs() {
+    let mix = &all_mixes()[6];
+    let mut system = System::new(SystemConfig::paper_default(), NullObserver);
+    for (core, bench) in mix.benchmarks.iter().enumerate() {
+        system.set_source(
+            CoreId(core),
+            Box::new(ProfileSource::new(bench, core, SEED)),
+        );
+    }
+    system.run_sharded(INSTRUCTIONS, ShardSpec::new(2));
+    let telemetry = *system
+        .epoch_telemetry()
+        .expect("sharded run records telemetry");
+    assert!(
+        telemetry.committed_epochs > 0,
+        "no epoch committed in parallel: {telemetry:?}"
+    );
+    assert!(
+        telemetry.committed_epochs * 2 >= telemetry.parallel_epochs,
+        "excessive rollbacks on a disjoint workload: {telemetry:?}"
+    );
+    assert!(telemetry.llc_ops_replayed > 0);
+}
+
+/// Every bundled trace, replayed on all cores: sharded == sequential.
+#[test]
+fn bundled_traces_sharded_matches_sequential() {
+    let traces = std::fs::read_dir("crates/workloads/traces").expect("trace corpus present");
+    let mut names: Vec<_> = traces
+        .map(|e| e.expect("readable dir entry").path())
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "trace corpus must not be empty");
+    for path in names {
+        let text = std::fs::read_to_string(&path).expect("trace is readable");
+        let trace: Trace = text.parse().expect("trace parses");
+        let run = |sharded: Option<ShardSpec>| {
+            let mut system = System::new(SystemConfig::paper_default(), NullObserver);
+            for core in 0..4 {
+                system.set_source(CoreId(core), Box::new(trace.replay()));
+            }
+            let report = match sharded {
+                None => system.run(INSTRUCTIONS),
+                Some(spec) => system.run_sharded(INSTRUCTIONS, spec),
+            };
+            fingerprint(&report)
+        };
+        let seq = run(None);
+        let sharded = run(Some(ShardSpec::new(4)));
+        assert_eq!(seq, sharded, "trace {} diverged", path.display());
+    }
+}
+
+/// A worst-case workload for the optimistic protocol: all cores hammer the
+/// same small address region (cross-core sharing, coherence invalidations,
+/// shared-set evictions). Verification must force rollbacks and the result
+/// must still be bit-identical.
+#[test]
+fn cross_core_conflict_stress_rolls_back_and_stays_identical() {
+    fn shared_source(core: usize) -> Box<dyn cache_sim::AccessSource + Send> {
+        let mut i = core as u64;
+        Box::new(move || {
+            i = i.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            let addr = (i >> 33) % (1 << 14); // 16 KB shared region
+            let write = i.is_multiple_of(5);
+            let access = if write {
+                Access::write(Addr(addr))
+            } else {
+                Access::read(Addr(addr))
+            };
+            Some(access.after(i % 7))
+        })
+    }
+    let run = |sharded: Option<ShardSpec>| {
+        let mut system = System::new(SystemConfig::small_test(), NullObserver);
+        for core in 0..2 {
+            system.set_source(CoreId(core), shared_source(core));
+        }
+        let report = match sharded {
+            None => system.run(20_000),
+            Some(spec) => system.run_sharded(20_000, spec),
+        };
+        let telemetry = system.epoch_telemetry().copied();
+        (fingerprint(&report), telemetry)
+    };
+    let (seq, _) = run(None);
+    let (sharded, telemetry) = run(Some(ShardSpec::new(2).with_epoch_cycles(2_000)));
+    assert_eq!(seq, sharded, "conflict stress diverged");
+    let telemetry = telemetry.expect("telemetry recorded");
+    assert!(
+        telemetry.rollbacks > 0,
+        "stress workload must exercise the rollback path: {telemetry:?}"
+    );
+}
+
+/// An attack-shaped workload under the monitor: heavy prefetch traffic means
+/// most windows are prefetch-gated sequential — results must still match and
+/// the engine must record those sequential windows.
+#[test]
+fn monitored_thrash_gates_on_prefetches_and_stays_identical() {
+    fn thrash_source(core: usize) -> Box<dyn cache_sim::AccessSource + Send> {
+        // Core 0 pings one line; core 1 walks the same LLC set, evicting it.
+        let mut i = 0u64;
+        if core == 0 {
+            Box::new(move || Some(Access::read(Addr(0)).after(40)))
+        } else {
+            Box::new(move || {
+                i += 1;
+                // small_test LLC: 128 sets, 64 B lines → same set every
+                // 128 * 64 bytes.
+                Some(Access::read(Addr((1 + (i % 9)) * 128 * 64)).after(11))
+            })
+        }
+    }
+    let run = |sharded: Option<ShardSpec>| {
+        let monitor = PiPoMonitor::new(MonitorConfig::paper_default()).expect("valid config");
+        let mut system = System::new(SystemConfig::small_test(), monitor);
+        for core in 0..2 {
+            system.set_source(CoreId(core), thrash_source(core));
+        }
+        let report = match sharded {
+            None => system.run(30_000),
+            Some(spec) => system.run_sharded(30_000, spec),
+        };
+        let stats = *system.observer().stats();
+        (fingerprint(&report), stats)
+    };
+    let (seq, seq_stats) = run(None);
+    let (sharded, sharded_stats) = run(Some(ShardSpec::new(2).with_epoch_cycles(4_000)));
+    assert_eq!(seq, sharded, "monitored thrash diverged");
+    assert_eq!(seq_stats, sharded_stats, "monitor stats diverged");
+    assert!(
+        seq_stats.prefetches_scheduled > 0,
+        "workload must actually exercise the prefetch path: {seq_stats:?}"
+    );
+}
+
+/// Repeated sharded runs are deterministic regardless of thread scheduling.
+#[test]
+fn sharded_runs_are_deterministic_across_repetitions() {
+    let run = || {
+        run_mix_monitored(2, 3, |s| {
+            s.run_sharded(30_000, ShardSpec::new(3).with_epoch_cycles(5_000))
+        })
+    };
+    let (a, a_stats) = run();
+    let (b, b_stats) = run();
+    assert_eq!(a, b);
+    assert_eq!(a_stats, b_stats);
+}
+
+/// `shards = 1` and absurd shard counts degrade gracefully.
+#[test]
+fn degenerate_shard_counts() {
+    let (seq, _) = run_mix_monitored(4, 5, |s| s.run(20_000));
+    for shards in [0, 1, 64, 1000] {
+        let (sharded, _) =
+            run_mix_monitored(4, 5, |s| s.run_sharded(20_000, ShardSpec::new(shards)));
+        assert_eq!(seq, sharded, "diverged with {shards} shards");
+    }
+}
