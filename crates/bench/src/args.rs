@@ -150,10 +150,16 @@ impl HarnessArgs {
     }
 
     /// For binaries whose cells do not run whole systems: rejects `--shards`
-    /// (exit 2) instead of silently ignoring it.
+    /// (exit 2) instead of silently ignoring it. The message leads with the
+    /// offending flag so a user scanning stderr (or a script grepping it)
+    /// sees *which* flag was rejected, not just a usage dump
+    /// (`crates/bench/tests/cli.rs` pins this for every binary).
     pub fn expect_no_shards(&self) {
         if let Some(shards) = self.shards {
-            eprintln!("error: this binary does not simulate whole systems, --shards {shards} has no effect");
+            eprintln!(
+                "error: unsupported flag `--shards {shards}`: this binary does not \
+                 simulate whole systems, so epoch-parallel sharding has no effect"
+            );
             eprintln!("{USAGE}");
             std::process::exit(2);
         }

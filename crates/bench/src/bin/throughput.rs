@@ -216,6 +216,16 @@ fn parse_old_rates(text: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// Reports a CLI error the same way the shared `HarnessArgs` parser does —
+/// an `error:` line naming the problem, the usage text, exit status 2 —
+/// so scripts can treat every harness binary uniformly
+/// (`crates/bench/tests/cli.rs` pins the contract).
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -231,30 +241,53 @@ fn main() {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--label" => label = it.next().expect("--label needs a value").clone(),
-            "--out" | "--json" => out_path = it.next().expect("--out needs a value").clone(),
-            "--compare" => compare_path = Some(it.next().expect("--compare needs a value").clone()),
-            "--samples" => {
-                samples = it
+            "--label" => {
+                label = it
                     .next()
-                    .expect("--samples needs a value")
-                    .parse()
-                    .expect("--samples must be a positive integer");
-                assert!(samples > 0, "--samples must be a positive integer");
+                    .unwrap_or_else(|| usage_error("--label needs a value"))
+                    .clone();
+            }
+            "--out" | "--json" => {
+                out_path = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--out needs a file path"))
+                    .clone();
+            }
+            "--compare" => {
+                compare_path = Some(
+                    it.next()
+                        .unwrap_or_else(|| usage_error("--compare needs a file path"))
+                        .clone(),
+                );
+            }
+            "--samples" => {
+                let raw = it
+                    .next()
+                    .unwrap_or_else(|| usage_error("--samples needs a sample count"));
+                samples = raw.parse().unwrap_or(0);
+                if samples == 0 {
+                    usage_error(&format!(
+                        "--samples expects a positive integer, got {raw:?}"
+                    ));
+                }
             }
             "--shards" => {
-                let n: usize = it
+                let raw = it
                     .next()
-                    .expect("--shards needs a value")
-                    .parse()
-                    .expect("--shards must be a positive integer");
-                assert!(n > 0, "--shards must be a positive integer");
+                    .unwrap_or_else(|| usage_error("--shards needs a shard count"));
+                let n: usize = raw.parse().unwrap_or(0);
+                if n == 0 {
+                    usage_error(&format!("--shards expects a positive integer, got {raw:?}"));
+                }
                 shards = Some(n);
             }
+            flag if flag.starts_with('-') => usage_error(&format!("unknown flag {flag:?}")),
             other => {
-                instructions = other
-                    .parse()
-                    .unwrap_or_else(|_| panic!("unrecognized argument {other:?}"));
+                instructions = other.parse().unwrap_or_else(|_| {
+                    usage_error(&format!(
+                        "unparsable instruction count {other:?} (expected an unsigned integer)"
+                    ))
+                });
             }
         }
     }
@@ -372,7 +405,21 @@ fn main() {
                         .field("committed", t.committed_epochs)
                         .field("rollbacks", t.rollbacks)
                         .field("sequential_windows", t.sequential_windows)
-                        .field("llc_ops_replayed", t.llc_ops_replayed),
+                        .field("llc_ops_replayed", t.llc_ops_replayed)
+                        // Where the sharded wall-clock went: the parallel
+                        // speculate/verify phases, the serial mutation-only
+                        // commit, and sequential window re-execution. The
+                        // verify/commit split exists to shrink the serial
+                        // share, so record it explicitly.
+                        .field(
+                            "phase_ns",
+                            Json::object()
+                                .field("speculate", t.speculate_ns)
+                                .field("verify", t.verify_ns)
+                                .field("commit", t.commit_ns)
+                                .field("sequential", t.sequential_ns),
+                        )
+                        .field("serial_commit_share", round(t.serial_commit_share(), 4)),
                 );
             }
             obj
@@ -414,13 +461,15 @@ fn main() {
                     ),
                 );
             if let Some(t) = runs[sharded].telemetry {
-                entry = entry.field(
-                    "commit_rate",
-                    round(
-                        t.committed_epochs as f64 / (t.parallel_epochs.max(1)) as f64,
-                        2,
-                    ),
-                );
+                entry = entry
+                    .field(
+                        "commit_rate",
+                        round(
+                            t.committed_epochs as f64 / (t.parallel_epochs.max(1)) as f64,
+                            2,
+                        ),
+                    )
+                    .field("serial_commit_share", round(t.serial_commit_share(), 4));
             }
             scaling.push(entry);
         }

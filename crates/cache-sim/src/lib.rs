@@ -28,10 +28,13 @@
 //!
 //! A single large simulation can additionally be spread across host threads
 //! with [`System::run_sharded`]: the [`epoch`] module implements an
-//! optimistic shard/epoch/merge protocol whose results are bit-identical to
-//! [`System::run`] for any shard count (pinned by
-//! `tests/sharded_regression.rs`). See `ARCHITECTURE.md` at the repository
-//! root for the execution model.
+//! optimistic shard/epoch protocol — parallel speculation, a parallel
+//! set-partitioned read-only verify phase, and a serial mutation-only
+//! commit, all running out of pooled scratch on a persistent worker pool —
+//! whose results are bit-identical to [`System::run`] for any shard count
+//! (pinned by `tests/sharded_regression.rs` and, over randomized inputs, by
+//! `tests/sharded_differential.rs`). See `ARCHITECTURE.md` at the
+//! repository root for the execution model.
 //!
 //! # Examples
 //!
@@ -46,7 +49,10 @@
 //! assert!(miss.latency > hit.latency);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the persistent worker pool (`pool.rs`) needs
+// one documented lifetime-erasure expression (the classic scoped-thread-pool
+// pattern) and carries the only `#[allow(unsafe_code)]` in the workspace.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cache;
@@ -57,6 +63,7 @@ pub mod epoch;
 pub mod hierarchy;
 pub mod line;
 pub mod observer;
+pub(crate) mod pool;
 pub mod replacement;
 pub mod stats;
 pub mod system;
@@ -66,7 +73,7 @@ pub use cache::{Cache, EvictedLine};
 pub use config::{CacheGeometry, SystemConfig};
 pub use core::{Access, AccessSource, Core};
 pub use dram::Dram;
-pub use epoch::{EpochTelemetry, ShardSpec, DEFAULT_EPOCH_CYCLES};
+pub use epoch::{EpochTelemetry, EpochWindow, ShardSpec, DEFAULT_EPOCH_CYCLES};
 pub use hierarchy::Hierarchy;
 pub use line::{LineMeta, SharerSet};
 pub use observer::{NullObserver, RecordingObserver, TrafficObserver};

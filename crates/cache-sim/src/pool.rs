@@ -1,0 +1,278 @@
+//! A persistent scoped worker pool for the epoch-parallel engine.
+//!
+//! [`System::run_sharded`](crate::System::run_sharded) dispatches two
+//! parallel phases *per epoch* (speculation and verification). Spawning OS
+//! threads per epoch — as `std::thread::scope` does — costs tens of
+//! microseconds and several heap allocations each time, which both caps the
+//! useful epoch rate and breaks the engine's zero-allocation steady state
+//! (pinned by `tests/no_alloc_hot_path.rs`). This pool spawns its worker
+//! threads once and re-dispatches borrowed closures to them with nothing but
+//! mutex/condvar traffic: no per-dispatch allocation, no thread churn.
+//!
+//! # How borrowed closures cross thread boundaries
+//!
+//! [`WorkerPool::run`] accepts `&(dyn Fn(usize) + Sync)` with an ordinary
+//! (non-`'static`) lifetime and erases that lifetime to hand the reference
+//! to the persistent workers. This is the classic scoped-pool pattern
+//! (rayon's `scope`, `std::thread::scope` internals): it is sound because
+//! `run` does not return until every participating worker has finished the
+//! call, so the borrow strictly outlives every use. The lifetime erasure is
+//! the crate's only unsafe code and is confined to one expression below.
+//!
+//! # Panic propagation
+//!
+//! A panicking worker marks the dispatch poisoned; `run` re-panics on the
+//! caller thread once all workers finish, matching the behaviour of the
+//! `std::thread::scope` + `join` code this replaces.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A dispatched job: the borrowed worker closure with its lifetime erased.
+/// Only ever dereferenced between dispatch and completion of one `run` call
+/// (see module docs for the soundness argument).
+type Job = &'static (dyn Fn(usize) + Sync);
+
+struct State {
+    /// Dispatch generation; workers wake when it advances.
+    generation: u64,
+    /// The active job, present from dispatch until the caller observes
+    /// completion.
+    job: Option<Job>,
+    /// Worker indices `1..participants` run the job (index 0 is the caller).
+    participants: usize,
+    /// Participating workers that have not finished the current job yet.
+    remaining: usize,
+    /// A participating worker panicked during the current job.
+    poisoned: bool,
+    /// Pool is shutting down; workers exit.
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signals workers: new generation dispatched (or shutdown).
+    go: Condvar,
+    /// Signals the caller: `remaining` reached zero.
+    done: Condvar,
+}
+
+/// Persistent worker threads executing per-epoch closures (see module docs).
+pub(crate) struct WorkerPool {
+    shared: Arc<Shared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.threads.len())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool able to run jobs of up to `workers` participants: the
+    /// calling thread acts as participant 0, so `workers - 1` threads are
+    /// spawned.
+    pub fn new(workers: usize) -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                generation: 0,
+                job: None,
+                participants: 0,
+                remaining: 0,
+                poisoned: false,
+                shutdown: false,
+            }),
+            go: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let threads = (1..workers)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared, index))
+            })
+            .collect();
+        Self { shared, threads }
+    }
+
+    /// Maximum participants a job may have (spawned threads + the caller).
+    pub fn capacity(&self) -> usize {
+        self.threads.len() + 1
+    }
+
+    /// Runs `f(0)`, `f(1)`, …, `f(participants - 1)` concurrently — `f(0)`
+    /// on the calling thread, the rest on pool threads — and returns once
+    /// all calls finish. `f` may borrow the caller's stack freely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `participants` exceeds [`capacity`](Self::capacity), or if
+    /// any participant panicked (after all participants finish).
+    pub fn run(&self, participants: usize, f: &(dyn Fn(usize) + Sync)) {
+        assert!(
+            participants <= self.capacity(),
+            "job wants {participants} participants, pool capacity is {}",
+            self.capacity()
+        );
+        if participants <= 1 {
+            f(0);
+            return;
+        }
+        // SAFETY: the erased borrow is only dereferenced by workers between
+        // this dispatch and the `remaining == 0` acknowledgement below, and
+        // this function does not return (or unwind — no panicking call sits
+        // between dispatch and acknowledgement) before that point, so the
+        // original `f` outlives every use.
+        #[allow(unsafe_code)]
+        let job: Job = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(f)
+        };
+        {
+            let mut state = self.shared.state.lock().expect("pool mutex poisoned");
+            state.generation += 1;
+            state.job = Some(job);
+            state.participants = participants;
+            state.remaining = participants - 1;
+            state.poisoned = false;
+            drop(state);
+            self.shared.go.notify_all();
+        }
+        // The caller is participant 0 — it works instead of blocking.
+        let caller_result = catch_unwind(AssertUnwindSafe(|| f(0)));
+        let mut state = self.shared.state.lock().expect("pool mutex poisoned");
+        while state.remaining > 0 {
+            state = self.shared.done.wait(state).expect("pool mutex poisoned");
+        }
+        state.job = None;
+        let poisoned = state.poisoned;
+        drop(state);
+        if let Err(payload) = caller_result {
+            std::panic::resume_unwind(payload);
+        }
+        assert!(!poisoned, "pool worker panicked");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool mutex poisoned");
+            state.shutdown = true;
+            drop(state);
+            self.shared.go.notify_all();
+        }
+        for handle in self.threads.drain(..) {
+            // A worker can only panic via a job panic, which `run` already
+            // re-reported; ignore the join result during teardown.
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, index: usize) {
+    let mut seen_generation = 0u64;
+    loop {
+        let job;
+        {
+            let mut state = shared.state.lock().expect("pool mutex poisoned");
+            while state.generation == seen_generation && !state.shutdown {
+                state = shared.go.wait(state).expect("pool mutex poisoned");
+            }
+            if state.shutdown {
+                return;
+            }
+            seen_generation = state.generation;
+            if index >= state.participants {
+                // Not part of this job; wait for the next generation.
+                continue;
+            }
+            job = state.job.expect("dispatched generation carries a job");
+        }
+        let result = catch_unwind(AssertUnwindSafe(|| job(index)));
+        let mut state = shared.state.lock().expect("pool mutex poisoned");
+        if result.is_err() {
+            state.poisoned = true;
+        }
+        state.remaining -= 1;
+        if state.remaining == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn runs_every_participant_exactly_once() {
+        let pool = WorkerPool::new(4);
+        assert_eq!(pool.capacity(), 4);
+        let hits: [AtomicU64; 4] = std::array::from_fn(|_| AtomicU64::new(0));
+        for _ in 0..100 {
+            pool.run(4, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        for h in &hits {
+            assert_eq!(h.load(Ordering::Relaxed), 100);
+        }
+    }
+
+    #[test]
+    fn jobs_may_borrow_the_stack() {
+        let pool = WorkerPool::new(3);
+        let data = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+        pool.run(3, &|i| {
+            data[i].store(i as u64 + 1, Ordering::Relaxed);
+        });
+        let collected: Vec<u64> = data.iter().map(|d| d.load(Ordering::Relaxed)).collect();
+        assert_eq!(collected, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn single_participant_runs_inline() {
+        let pool = WorkerPool::new(1);
+        let touched = AtomicU64::new(0);
+        pool.run(1, &|i| {
+            assert_eq!(i, 0);
+            touched.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(touched.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn undersized_jobs_leave_extra_workers_idle() {
+        let pool = WorkerPool::new(4);
+        let hits: [AtomicU64; 4] = std::array::from_fn(|_| AtomicU64::new(0));
+        pool.run(2, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        pool.run(4, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        let collected: Vec<u64> = hits.iter().map(|h| h.load(Ordering::Relaxed)).collect();
+        assert_eq!(collected, vec![2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let pool = WorkerPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(2, &|i| {
+                assert!(i != 1, "deliberate test panic");
+            });
+        }));
+        assert!(result.is_err());
+        // The pool must remain usable after a poisoned dispatch.
+        let count = AtomicU64::new(0);
+        pool.run(2, &|_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 2);
+    }
+}

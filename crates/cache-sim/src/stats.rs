@@ -153,6 +153,22 @@ impl HierarchyStats {
         self.per_core.iter().map(|c| c.memory_fetches).sum()
     }
 
+    /// Zeroes every counter in place, keeping the per-core allocation (the
+    /// epoch engine resets pooled per-shard and per-verify-worker deltas
+    /// each epoch without reallocating them).
+    pub(crate) fn reset(&mut self, cores: usize) {
+        if self.per_core.len() != cores {
+            self.per_core.resize(cores, CoreStats::default());
+        }
+        self.per_core.fill(CoreStats::default());
+        self.llc_evictions = 0;
+        self.back_invalidations = 0;
+        self.coherence_invalidations = 0;
+        self.writebacks = 0;
+        self.prefetch_fills = 0;
+        self.prefetch_hits = 0;
+    }
+
     /// Adds another statistics block into this one.
     ///
     /// This is the shard-merge step of the epoch-parallel engine: every

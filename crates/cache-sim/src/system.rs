@@ -19,12 +19,15 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::atomic::AtomicBool;
+use std::sync::Mutex;
+use std::time::Instant;
 
 use crate::cache::Cache;
 use crate::core::{AccessSource, Core};
-use crate::epoch::{self, EpochTelemetry, ShardSpec, ShardTask};
+use crate::epoch::{self, EpochScratch, EpochTelemetry, EpochWindow, ShardSpec, ShardTask};
 use crate::hierarchy::Hierarchy;
 use crate::observer::TrafficObserver;
+use crate::pool::WorkerPool;
 use crate::stats::HierarchyStats;
 use crate::types::{CoreId, Cycle};
 
@@ -106,12 +109,21 @@ pub struct System<O: TrafficObserver> {
     /// Execution counters of the last [`run_sharded`](Self::run_sharded)
     /// call; `None` after a plain [`run`](Self::run).
     telemetry: Option<EpochTelemetry>,
-    /// Per-shard speculative LLC copies, allocated on the first sharded
-    /// epoch and reused across epochs (and runs) so speculation never
-    /// re-allocates LLC-sized buffers.
-    shard_llc: Vec<Cache>,
-    /// Pre-replay LLC backup, likewise reused across epochs.
-    llc_backup: Option<Cache>,
+    /// All pooled epoch-parallel state (shard logs, tapes, backups,
+    /// speculation LLC copies, verify set images, annotations), reshaped
+    /// only when the `(cores, shards)` layout changes and reused otherwise
+    /// — steady-state epochs allocate nothing.
+    scratch: EpochScratch,
+    /// Persistent worker threads for the speculate and verify phases,
+    /// created on the first sharded run and grown if a later run asks for
+    /// more shards.
+    pool: Option<WorkerPool>,
+    /// Pooled observer snapshot: the commit walk is the only epoch step
+    /// that mutates shared state before the epoch is fully committed (a
+    /// prefetch it schedules may fall due inside the window), so the
+    /// observer is `clone_from`'d here first and swapped back on that late
+    /// rollback.
+    observer_backup: Option<O>,
 }
 
 /// A source that immediately reports exhaustion (default for cores without
@@ -139,8 +151,9 @@ impl<O: TrafficObserver> System<O> {
             observer,
             schedule,
             telemetry: None,
-            shard_llc: Vec::new(),
-            llc_backup: None,
+            scratch: EpochScratch::new(),
+            pool: None,
+            observer_backup: None,
         }
     }
 
@@ -256,41 +269,60 @@ impl<O: TrafficObserver> System<O> {
     }
 }
 
+/// One shard's lock-protected work cell for a speculate dispatch: the pool
+/// workers each lock exactly their own cell, which hands them `&mut` access
+/// to the shard's disjoint core/cache slices without unsafe code or
+/// per-epoch allocation (the cells live in a stack array).
+struct SpecCell<'a> {
+    task: ShardTask<'a>,
+    scratch: &'a mut epoch::ShardScratch,
+}
+
+/// Nanoseconds elapsed since `since` (saturating, for telemetry).
+fn elapsed_ns(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
 impl<O: TrafficObserver + Clone> System<O> {
     /// Like [`run`](Self::run), but advances shards of cores on parallel
     /// worker threads using the optimistic epoch protocol described in the
-    /// [`epoch`] module.
+    /// [`epoch`] module: a parallel core-partitioned speculate phase, a
+    /// parallel set-partitioned read-only verify phase, and a serial
+    /// mutation-only commit phase.
     ///
     /// The result is **bit-identical** to [`run`](Self::run) for any shard
-    /// count and epoch length: every parallel epoch is verified against an
-    /// authoritative sequential replay of its LLC operations and rolled back
-    /// to sequential re-execution on any divergence. The observer must be
-    /// `Clone` so it can be snapshotted for rollback.
+    /// count and epoch length: every parallel epoch is verified against the
+    /// authoritative sequential semantics of its LLC operations and rolled
+    /// back to sequential re-execution on any divergence. The observer must
+    /// be `Clone` so it can be snapshotted across the commit walk.
     ///
+    /// Steady-state epochs perform no heap allocation: all per-epoch state
+    /// lives in pooled scratch owned by the system, and the worker threads
+    /// persist across epochs (pinned by `tests/no_alloc_hot_path.rs`).
     /// Inspect [`epoch_telemetry`](Self::epoch_telemetry) afterwards to see
-    /// how much of the run actually committed in parallel.
+    /// how much of the run actually committed in parallel and where the
+    /// wall-clock went.
     pub fn run_sharded(&mut self, instructions_per_core: u64, spec: ShardSpec) -> SimReport {
         let shards = spec.shards.clamp(1, self.cores.len().max(1));
-        let base_cycles = spec.epoch_cycles.max(1);
-        // Adaptive windowing: the per-epoch snapshot cost (LLC clones for
-        // every worker plus the rollback backup) is independent of window
-        // length, so commit-heavy workloads want long windows while
-        // conflict-heavy ones want short windows that bound the wasted
-        // speculation. Double the window after every committed epoch (capped
-        // at 64× the base) and reset to the base on rollback — the commit
-        // history is deterministic, so the window sequence (and the result)
-        // stays deterministic too.
-        const MAX_WINDOW_GROWTH: Cycle = 64;
-        let max_cycles = base_cycles.saturating_mul(MAX_WINDOW_GROWTH);
-        let mut window = base_cycles;
+        let mut window = EpochWindow::new(spec.epoch_cycles);
         let mut telemetry = EpochTelemetry::default();
-        if shards <= 1 {
-            // One shard is the sequential engine.
+        // One shard is the sequential engine; more than 64 cores would
+        // overflow the shard membership masks (the sharer bitmap caps the
+        // whole simulator at 64 cores anyway).
+        if shards <= 1 || self.cores.len() > 64 {
             self.run_window(instructions_per_core, Cycle::MAX);
             self.telemetry = Some(telemetry);
             return self.finish_run();
         }
-        let masks = epoch::shard_masks(self.cores.len(), shards);
+        self.scratch.prepare(&self.hierarchy, shards);
+        if self.pool.as_ref().is_none_or(|p| p.capacity() < shards) {
+            self.pool = Some(WorkerPool::new(shards));
+        }
+        // Non-LRU replacement cannot be verified set-partitioned (tree-PLRU
+        // could but is not worth a third code path; random replacement draws
+        // victims from one global generator) — those policies take the
+        // legacy serial verify-while-mutating replay.
+        let set_parallel = self.hierarchy.l3.is_lru();
         loop {
             let cur = self
                 .cores
@@ -299,7 +331,7 @@ impl<O: TrafficObserver + Clone> System<O> {
                 .map(Core::now)
                 .min();
             let Some(cur) = cur else { break };
-            let t_end = cur.saturating_add(window);
+            let t_end = cur.saturating_add(window.current());
             if t_end <= cur {
                 // Clock saturated; no window can make progress in parallel.
                 self.run_window(instructions_per_core, Cycle::MAX);
@@ -313,78 +345,31 @@ impl<O: TrafficObserver + Clone> System<O> {
                 // A monitor prefetch lands inside this window: its drain
                 // point depends on the global step schedule, so run the
                 // window sequentially.
+                let t0 = Instant::now();
                 self.run_window(instructions_per_core, t_end);
+                telemetry.sequential_ns += elapsed_ns(t0);
                 telemetry.sequential_windows += 1;
                 continue;
             }
             telemetry.parallel_epochs += 1;
-            let outcomes = self.speculate_epoch(shards, instructions_per_core, t_end);
-            if outcomes.iter().any(epoch::ShardOutcome::conflicted) {
-                self.rollback(outcomes);
-                telemetry.rollbacks += 1;
-                self.run_window(instructions_per_core, t_end);
-                telemetry.sequential_windows += 1;
-                window = base_cycles;
+            let epoch_id = self.scratch.begin_epoch();
+            let t0 = Instant::now();
+            self.speculate_epoch(shards, instructions_per_core, t_end);
+            telemetry.speculate_ns += elapsed_ns(t0);
+            if self.scratch.shards.iter().any(|s| s.conflict) {
+                self.rollback_epoch(&mut telemetry, instructions_per_core, t_end, &mut window);
                 continue;
             }
-            // Snapshot the shared state the replay mutates, then verify.
-            // The LLC backup reuses a persistent buffer (`clone_from`); the
-            // rest is small enough to clone fresh.
-            match &mut self.llc_backup {
-                Some(backup) => backup.clone_from(&self.hierarchy.l3),
-                None => self.llc_backup = Some(self.hierarchy.l3.clone()),
-            }
-            let dram_backup = self.hierarchy.dram.clone();
-            let stats_backup = self.hierarchy.stats.clone();
-            let observer_backup = self.observer.clone();
-            let logs: Vec<&[epoch::LlcOp]> =
-                outcomes.iter().map(epoch::ShardOutcome::log).collect();
-            let replayed =
-                epoch::replay_logs(&logs, &masks, &mut self.hierarchy, &mut self.observer);
-            drop(logs);
-            let committed = match replayed {
-                // A prefetch scheduled during the replay that falls due
-                // inside the epoch would have been drained mid-epoch by the
-                // sequential engine: treat it as a conflict.
-                Ok(ops) => {
-                    if self
-                        .observer
-                        .next_prefetch_due()
-                        .is_some_and(|due| due < t_end)
-                    {
-                        None
-                    } else {
-                        Some(ops)
-                    }
-                }
-                Err(epoch::Conflict) => None,
+            let committed = if set_parallel {
+                self.try_commit_set_parallel(shards, epoch_id, t_end, &mut telemetry)
+            } else {
+                self.try_commit_legacy(t_end, &mut telemetry)
             };
-            match committed {
-                Some(ops) => {
-                    for outcome in &outcomes {
-                        self.hierarchy.stats.absorb(outcome.stats());
-                    }
-                    telemetry.committed_epochs += 1;
-                    telemetry.llc_ops_replayed += ops;
-                    window = window.saturating_mul(2).min(max_cycles);
-                }
-                None => {
-                    // Swap the trashed LLC out for the backup; the backup
-                    // buffer (now holding garbage) is overwritten by
-                    // `clone_from` on the next epoch.
-                    std::mem::swap(
-                        &mut self.hierarchy.l3,
-                        self.llc_backup.as_mut().expect("backup taken above"),
-                    );
-                    self.hierarchy.dram = dram_backup;
-                    self.hierarchy.stats = stats_backup;
-                    self.observer = observer_backup;
-                    self.rollback(outcomes);
-                    telemetry.rollbacks += 1;
-                    self.run_window(instructions_per_core, t_end);
-                    telemetry.sequential_windows += 1;
-                    window = base_cycles;
-                }
+            if committed {
+                telemetry.committed_epochs += 1;
+                window.on_commit();
+            } else {
+                self.rollback_epoch(&mut telemetry, instructions_per_core, t_end, &mut window);
             }
         }
         self.telemetry = Some(telemetry);
@@ -393,21 +378,24 @@ impl<O: TrafficObserver + Clone> System<O> {
 
     /// Runs the speculate phase of one epoch: partitions cores and their
     /// private caches into contiguous shards and advances each on its own
-    /// worker thread against a clone of the LLC.
-    fn speculate_epoch(
-        &mut self,
-        shards: usize,
-        instructions_per_core: u64,
-        t_end: Cycle,
-    ) -> Vec<epoch::ShardOutcome> {
-        let total_cores = self.cores.len();
-        let sizes = epoch::shard_sizes(total_cores, shards);
-        let stop = AtomicBool::new(false);
-        // Per-shard scratch LLCs are lazily grown once, then reused: each
-        // worker `clone_from`s the epoch-start snapshot into its buffer.
-        while self.shard_llc.len() < sizes.len() {
-            self.shard_llc.push(self.hierarchy.l3.clone());
-        }
+    /// pool worker against a clone of the LLC. Results (logs, backups,
+    /// conflict flags) land in the per-shard scratch.
+    fn speculate_epoch(&mut self, shards: usize, instructions_per_core: u64, t_end: Cycle) {
+        let Self {
+            hierarchy,
+            cores,
+            scratch,
+            pool,
+            ..
+        } = self;
+        let pool = pool.as_ref().expect("worker pool sized before speculation");
+        let EpochScratch {
+            shards: shard_scratch,
+            sizes,
+            ..
+        } = scratch;
+        let sizes: &[usize] = sizes;
+        let total_cores = cores.len();
         let Hierarchy {
             config,
             l1,
@@ -415,55 +403,258 @@ impl<O: TrafficObserver + Clone> System<O> {
             l3,
             line_shift,
             ..
-        } = &mut self.hierarchy;
+        } = hierarchy;
         let config: &crate::config::SystemConfig = config;
         let l3: &Cache = l3;
         let line_shift = *line_shift;
-        std::thread::scope(|scope| {
-            let mut cores_rest: &mut [Core] = &mut self.cores;
+        let stop = AtomicBool::new(false);
+        // One lock-protected cell per shard, built on the stack: no
+        // allocation, and each pool worker takes `&mut` to disjoint state
+        // by locking exactly its own cell.
+        let mut cells: [Option<Mutex<SpecCell<'_>>>; epoch::MAX_SHARDS] =
+            std::array::from_fn(|_| None);
+        {
+            let mut cores_rest: &mut [Core] = cores;
             let mut l1_rest: &mut [Cache] = l1;
             let mut l2_rest: &mut [Cache] = l2;
-            let mut scratch_rest: &mut [Cache] = &mut self.shard_llc;
+            let mut scratch_rest: &mut [epoch::ShardScratch] = shard_scratch;
             let mut base = 0usize;
-            let mut handles = Vec::with_capacity(sizes.len());
-            for &size in &sizes {
+            for (cell, &size) in cells.iter_mut().zip(sizes) {
                 let (shard_cores, rest) = cores_rest.split_at_mut(size);
                 cores_rest = rest;
                 let (shard_l1, rest) = l1_rest.split_at_mut(size);
                 l1_rest = rest;
                 let (shard_l2, rest) = l2_rest.split_at_mut(size);
                 l2_rest = rest;
-                let (scratch, rest) = scratch_rest.split_at_mut(1);
+                let (shard, rest) = scratch_rest.split_at_mut(1);
                 scratch_rest = rest;
-                let task = ShardTask {
-                    base,
-                    total_cores,
-                    cores: shard_cores,
-                    l1: shard_l1,
-                    l2: shard_l2,
-                    llc: l3,
-                    llc_scratch: &mut scratch[0],
-                    config,
-                    line_shift,
-                };
-                let stop = &stop;
-                handles.push(scope.spawn(move || {
-                    epoch::run_shard_epoch(task, instructions_per_core, t_end, stop)
+                *cell = Some(Mutex::new(SpecCell {
+                    task: ShardTask {
+                        base,
+                        total_cores,
+                        cores: shard_cores,
+                        l1: shard_l1,
+                        l2: shard_l2,
+                        llc: l3,
+                        config,
+                        line_shift,
+                    },
+                    scratch: &mut shard[0],
                 }));
                 base += size;
             }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard worker thread panicked"))
-                .collect()
-        })
+        }
+        let cells = &cells[..shards];
+        pool.run(shards, &|worker| {
+            let mut cell = cells[worker]
+                .as_ref()
+                .expect("one cell per participant")
+                .lock()
+                .expect("cell lock uncontended");
+            let SpecCell { task, scratch } = &mut *cell;
+            epoch::run_shard_epoch(task, scratch, instructions_per_core, t_end, &stop);
+        });
     }
 
-    /// Restores every shard to its epoch-start state.
-    fn rollback(&mut self, outcomes: Vec<epoch::ShardOutcome>) {
-        for outcome in outcomes {
-            epoch::rollback_shard(outcome, &mut self.cores, &mut self.hierarchy);
+    /// Runs the set-partitioned verify phase on the pool workers (read-only
+    /// against the live LLC) and, if every prediction held, the serial
+    /// mutation-only commit. Returns whether the epoch committed.
+    fn try_commit_set_parallel(
+        &mut self,
+        shards: usize,
+        epoch_id: u64,
+        t_end: Cycle,
+        telemetry: &mut EpochTelemetry,
+    ) -> bool {
+        let t0 = Instant::now();
+        {
+            let Self {
+                hierarchy,
+                scratch,
+                pool,
+                ..
+            } = self;
+            let pool = pool.as_ref().expect("worker pool sized before verify");
+            let EpochScratch {
+                shards: shard_scratch,
+                verify,
+                masks,
+                ..
+            } = scratch;
+            let shard_scratch: &[epoch::ShardScratch] = shard_scratch;
+            let masks: &[u64] = masks;
+            let llc = &hierarchy.l3;
+            let config = &hierarchy.config;
+            let mut cells: [Option<Mutex<&mut epoch::VerifyScratch>>; epoch::MAX_SHARDS] =
+                std::array::from_fn(|_| None);
+            for (cell, vs) in cells.iter_mut().zip(verify.iter_mut()) {
+                *cell = Some(Mutex::new(vs));
+            }
+            let cells = &cells[..shards];
+            pool.run(shards, &|worker| {
+                let mut vs = cells[worker]
+                    .as_ref()
+                    .expect("one cell per participant")
+                    .lock()
+                    .expect("cell lock uncontended");
+                epoch::verify_epoch(shard_scratch, &mut vs, llc, config, masks, epoch_id);
+            });
         }
+        telemetry.verify_ns += elapsed_ns(t0);
+        if self.scratch.verify.iter().any(|v| v.conflict) {
+            return false;
+        }
+        // Every prediction held: commit. The observer walk is the only step
+        // that mutates shared state before the epoch is final (a prefetch
+        // it schedules may fall due inside the window), so snapshot the
+        // observer into the pooled backup first.
+        let t1 = Instant::now();
+        match &mut self.observer_backup {
+            Some(backup) => backup.clone_from(&self.observer),
+            None => self.observer_backup = Some(self.observer.clone()),
+        }
+        {
+            let Self {
+                scratch, observer, ..
+            } = self;
+            epoch::commit_observer_walk(&mut scratch.verify, &mut scratch.commit_cursor, observer);
+        }
+        if self
+            .observer
+            .next_prefetch_due()
+            .is_some_and(|due| due < t_end)
+        {
+            // A prefetch scheduled during the walk falls due inside the
+            // epoch: the sequential engine would have drained it mid-window.
+            // Undo the observer — nothing else was touched — and roll back.
+            let backup = self.observer_backup.as_mut().expect("snapshotted above");
+            std::mem::swap(&mut self.observer, backup);
+            telemetry.commit_ns += elapsed_ns(t1);
+            return false;
+        }
+        {
+            let Self {
+                scratch, hierarchy, ..
+            } = self;
+            let EpochScratch {
+                shards: shard_scratch,
+                verify,
+                ..
+            } = scratch;
+            epoch::commit_absorb(verify, shard_scratch, hierarchy);
+        }
+        telemetry.llc_ops_replayed += self.scratch.verify.iter().map(|v| v.ops).sum::<u64>();
+        telemetry.commit_ns += elapsed_ns(t1);
+        true
+    }
+
+    /// The serial verify-while-mutating replay used for non-LRU replacement
+    /// policies: snapshots the LLC/DRAM/statistics/observer, replays the
+    /// merged logs against them, and restores everything on divergence.
+    /// Returns whether the epoch committed.
+    fn try_commit_legacy(&mut self, t_end: Cycle, telemetry: &mut EpochTelemetry) -> bool {
+        let t0 = Instant::now();
+        // The LLC backup reuses a persistent buffer (`clone_from`); the rest
+        // is cloned fresh — only the ablation configurations take this path,
+        // so its per-epoch allocations are accepted.
+        match &mut self.scratch.llc_backup {
+            Some(backup) => backup.clone_from(&self.hierarchy.l3),
+            None => self.scratch.llc_backup = Some(self.hierarchy.l3.clone()),
+        }
+        let dram_backup = self.hierarchy.dram.clone();
+        let stats_backup = self.hierarchy.stats.clone();
+        let observer_backup = self.observer.clone();
+        let replayed = {
+            let Self {
+                scratch,
+                hierarchy,
+                observer,
+                ..
+            } = self;
+            let EpochScratch {
+                shards,
+                commit_cursor,
+                masks,
+                ..
+            } = scratch;
+            epoch::replay_logs(shards, commit_cursor, masks, hierarchy, observer)
+        };
+        let committed = match replayed {
+            // A prefetch scheduled during the replay that falls due inside
+            // the epoch would have been drained mid-epoch by the sequential
+            // engine: treat it as a conflict.
+            Ok(ops) => {
+                if self
+                    .observer
+                    .next_prefetch_due()
+                    .is_some_and(|due| due < t_end)
+                {
+                    None
+                } else {
+                    Some(ops)
+                }
+            }
+            Err(epoch::Conflict) => None,
+        };
+        let result = match committed {
+            Some(ops) => {
+                for shard in &self.scratch.shards {
+                    self.hierarchy.stats.absorb(&shard.stats);
+                }
+                telemetry.llc_ops_replayed += ops;
+                true
+            }
+            None => {
+                // Swap the trashed LLC out for the backup; the backup buffer
+                // (now holding garbage) is overwritten by `clone_from` on
+                // the next epoch.
+                std::mem::swap(
+                    &mut self.hierarchy.l3,
+                    self.scratch
+                        .llc_backup
+                        .as_mut()
+                        .expect("backup taken above"),
+                );
+                self.hierarchy.dram = dram_backup;
+                self.hierarchy.stats = stats_backup;
+                self.observer = observer_backup;
+                false
+            }
+        };
+        // The fused serial verify+commit is this path's whole barrier cost.
+        telemetry.commit_ns += elapsed_ns(t0);
+        result
+    }
+
+    /// Restores every shard to its epoch-start state, re-executes the window
+    /// sequentially, and resets the adaptive window.
+    fn rollback_epoch(
+        &mut self,
+        telemetry: &mut EpochTelemetry,
+        instructions_per_core: u64,
+        t_end: Cycle,
+        window: &mut EpochWindow,
+    ) {
+        telemetry.rollbacks += 1;
+        {
+            let Self {
+                scratch,
+                cores,
+                hierarchy,
+                ..
+            } = self;
+            let EpochScratch { shards, sizes, .. } = scratch;
+            let mut base = 0usize;
+            for (shard, &size) in shards.iter_mut().zip(sizes.iter()) {
+                epoch::rollback_shard(shard, base, cores, hierarchy);
+                base += size;
+            }
+        }
+        let t0 = Instant::now();
+        self.run_window(instructions_per_core, t_end);
+        telemetry.sequential_ns += elapsed_ns(t0);
+        telemetry.sequential_windows += 1;
+        window.on_rollback();
     }
 }
 

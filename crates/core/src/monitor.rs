@@ -70,12 +70,34 @@ impl MonitorStats {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PiPoMonitor {
     config: MonitorConfig,
     filter: AutoCuckooFilter,
     queue: PrefetchQueue,
     stats: MonitorStats,
+}
+
+impl Clone for PiPoMonitor {
+    fn clone(&self) -> Self {
+        Self {
+            config: self.config,
+            filter: self.filter.clone(),
+            queue: self.queue.clone(),
+            stats: self.stats,
+        }
+    }
+
+    /// Overwrites `self` with `source` while reusing the filter-table and
+    /// prefetch-queue allocations, so the epoch-parallel engine's
+    /// once-per-epoch observer snapshot is a plain copy instead of an
+    /// allocation (mirrors `Cache::clone_from` on the LLC snapshots).
+    fn clone_from(&mut self, source: &Self) {
+        self.config = source.config;
+        self.filter.clone_from(&source.filter);
+        self.queue.clone_from(&source.queue);
+        self.stats = source.stats;
+    }
 }
 
 impl PiPoMonitor {

@@ -30,13 +30,35 @@ use cache_sim::{Cycle, LineAddr};
 /// assert!(q.drain_due(149).is_empty()); // not due yet
 /// assert_eq!(q.drain_due(150), vec![LineAddr(7)]);
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct PrefetchQueue {
     delay: Cycle,
     pending: VecDeque<(Cycle, LineAddr)>,
     /// Lines currently in `pending`, for O(1) duplicate suppression.
     members: HashSet<LineAddr>,
     scheduled_total: u64,
+}
+
+impl Clone for PrefetchQueue {
+    fn clone(&self) -> Self {
+        Self {
+            delay: self.delay,
+            pending: self.pending.clone(),
+            members: self.members.clone(),
+            scheduled_total: self.scheduled_total,
+        }
+    }
+
+    /// Overwrites `self` with `source` while reusing the queue and member-
+    /// set allocations (the epoch-parallel engine snapshots the monitor —
+    /// queue included — once per committing epoch; see
+    /// `AutoCuckooFilter::clone_from`).
+    fn clone_from(&mut self, source: &Self) {
+        self.delay = source.delay;
+        self.pending.clone_from(&source.pending);
+        self.members.clone_from(&source.members);
+        self.scheduled_total = source.scheduled_total;
+    }
 }
 
 impl PrefetchQueue {

@@ -14,57 +14,8 @@ use cache_sim::{Access, Addr, CoreId, NullObserver, ShardSpec, SimReport, System
 use pipo_workloads::{all_mixes, ProfileSource, Trace};
 use pipomonitor::{MonitorConfig, MonitorStats, PiPoMonitor};
 
-/// Every observable of a run, flattened for exact comparison.
-#[derive(Debug, PartialEq, Eq)]
-struct Fingerprint {
-    completion_cycles: Vec<u64>,
-    instructions: Vec<u64>,
-    llc_evictions: u64,
-    back_invalidations: u64,
-    coherence_invalidations: u64,
-    writebacks: u64,
-    prefetch_fills: u64,
-    prefetch_hits: u64,
-    memory_fetches: Vec<u64>,
-    l1_hits: Vec<u64>,
-    l2_hits: Vec<u64>,
-    l3_hits: Vec<u64>,
-    stall_cycles: Vec<u64>,
-    dram_reads: u64,
-    dram_prefetch_reads: u64,
-    dram_writes: u64,
-}
-
-fn fingerprint(report: &SimReport) -> Fingerprint {
-    Fingerprint {
-        completion_cycles: report.completion_cycles.clone(),
-        instructions: report.instructions.clone(),
-        llc_evictions: report.stats.llc_evictions,
-        back_invalidations: report.stats.back_invalidations,
-        coherence_invalidations: report.stats.coherence_invalidations,
-        writebacks: report.stats.writebacks,
-        prefetch_fills: report.stats.prefetch_fills,
-        prefetch_hits: report.stats.prefetch_hits,
-        memory_fetches: report
-            .stats
-            .per_core
-            .iter()
-            .map(|c| c.memory_fetches)
-            .collect(),
-        l1_hits: report.stats.per_core.iter().map(|c| c.l1.hits).collect(),
-        l2_hits: report.stats.per_core.iter().map(|c| c.l2.hits).collect(),
-        l3_hits: report.stats.per_core.iter().map(|c| c.l3.hits).collect(),
-        stall_cycles: report
-            .stats
-            .per_core
-            .iter()
-            .map(|c| c.stall_cycles)
-            .collect(),
-        dram_reads: report.dram_reads,
-        dram_prefetch_reads: report.dram_prefetch_reads,
-        dram_writes: report.dram_writes,
-    }
-}
+mod common;
+use common::{fingerprint, Fingerprint};
 
 /// Builds a monitored system running `mix` and returns its report plus
 /// monitor statistics, using `run` to drive it.
