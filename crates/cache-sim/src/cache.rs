@@ -14,13 +14,32 @@ pub struct EvictedLine {
     pub meta: LineMeta,
 }
 
-/// The per-way record scanned on every lookup: the tag packed together with
-/// the LRU recency stamp, 16 bytes per way, so a probe-plus-touch of a
-/// 4-way set reads and writes exactly one 64-byte host cache line.
-#[derive(Debug, Clone, Copy, Default)]
-struct WaySlot {
-    tag: u64,
-    stamp: Cycle,
+/// Lane-broadcast constant: the low bit of every byte of a `u64`.
+const LANE_LO: u64 = 0x0101_0101_0101_0101;
+/// Lane-broadcast constant: the high bit of every byte of a `u64`.
+const LANE_HI: u64 = 0x8080_8080_8080_8080;
+
+/// One-byte fingerprint of a tag: seven hash bits plus the forced-set MSB.
+///
+/// The MSB doubles as the way's validity bit — an empty way stores `0x00`,
+/// which can never equal a valid fingerprint, so the probe kernel needs no
+/// separate validity bitset. The hash multiplier is the 64-bit golden-ratio
+/// constant (SplitMix64's increment), whose top bits mix all tag bits.
+#[inline]
+fn fingerprint(tag: u64) -> u8 {
+    ((tag.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 57) as u8) | 0x80
+}
+
+/// SWAR zero-byte detector: returns a mask with bit `8k+7` set for (at
+/// least) every byte `k` of `x` that is zero.
+///
+/// This is the classic `(x - 0x01…) & !x & 0x80…` trick. It can report a
+/// false positive for a `0x01` byte that borrows from a lower zero byte —
+/// harmless here, because every candidate lane is confirmed against the full
+/// tag array before a hit is declared.
+#[inline]
+fn zero_byte_lanes(x: u64) -> u64 {
+    x.wrapping_sub(LANE_LO) & !x & LANE_HI
 }
 
 /// One set-associative cache level.
@@ -29,10 +48,13 @@ struct WaySlot {
 /// line address and the tag is the remainder. The cache does not know its
 /// level — the [`Hierarchy`](crate::Hierarchy) composes caches into L1/L2/L3.
 ///
-/// Storage is split structure-of-arrays style for the lookup-dominated
-/// simulation hot path: a packed array of tag+recency records scanned on
-/// every lookup, a validity bitset, and a separate [`LineMeta`] array that is
-/// only dereferenced when metadata is actually read or written.
+/// Storage is flat structure-of-arrays, laid out for the probe-dominated
+/// simulation hot path: one-byte tag *fingerprints* packed eight per `u64`
+/// word (so a whole 8-way set is compared in a single branchless SWAR
+/// operation), with the full tags, LRU stamps, and [`LineMeta`] in separate
+/// parallel arrays that are only dereferenced on a fingerprint hit. A probe
+/// that misses a 16-way set reads 16 bytes of fingerprints instead of 16
+/// tag words.
 ///
 /// # Examples
 ///
@@ -49,28 +71,41 @@ struct WaySlot {
 #[derive(Debug)]
 pub struct Cache {
     geometry: CacheGeometry,
-    /// Tag + LRU stamp of each way, indexed `set * ways + way`; meaningful
-    /// only where the corresponding `valid` bit is set.
-    slots: Vec<WaySlot>,
-    /// One validity bit per slot, packed 64 per word.
-    valid: Vec<u64>,
-    /// Metadata of each slot, parallel to `slots`.
+    /// Packed per-way fingerprints, `words_per_set` words per set, one byte
+    /// per way in ascending way order. `0x00` marks an empty way; pad bytes
+    /// beyond the associativity stay `0x00` forever and are masked out of
+    /// every scan by the lane masks.
+    fps: Vec<u64>,
+    /// Full tag of each way, indexed `set * ways + way`; meaningful only
+    /// where the fingerprint byte is nonzero.
+    tags: Vec<u64>,
+    /// LRU recency stamp of each way, parallel to `tags`.
+    stamps: Vec<Cycle>,
+    /// Metadata of each way, parallel to `tags`.
     metas: Vec<LineMeta>,
     policy: ReplacementPolicy,
     set_mask: u64,
     set_shift: u32,
+    /// `ways.div_ceil(8)`: fingerprint words per set.
+    words_per_set: usize,
+    /// `LANE_HI` restricted to the real-way bytes of a set's last
+    /// fingerprint word (all words before it are fully populated).
+    tail_lanes: u64,
 }
 
 impl Clone for Cache {
     fn clone(&self) -> Self {
         Self {
             geometry: self.geometry,
-            slots: self.slots.clone(),
-            valid: self.valid.clone(),
+            fps: self.fps.clone(),
+            tags: self.tags.clone(),
+            stamps: self.stamps.clone(),
             metas: self.metas.clone(),
             policy: self.policy.clone(),
             set_mask: self.set_mask,
             set_shift: self.set_shift,
+            words_per_set: self.words_per_set,
+            tail_lanes: self.tail_lanes,
         }
     }
 
@@ -82,12 +117,15 @@ impl Clone for Cache {
     /// instead of allocation + page-fault storms.
     fn clone_from(&mut self, source: &Self) {
         self.geometry = source.geometry;
-        self.slots.clone_from(&source.slots);
-        self.valid.clone_from(&source.valid);
+        self.fps.clone_from(&source.fps);
+        self.tags.clone_from(&source.tags);
+        self.stamps.clone_from(&source.stamps);
         self.metas.clone_from(&source.metas);
         self.policy.clone_from(&source.policy);
         self.set_mask = source.set_mask;
         self.set_shift = source.set_shift;
+        self.words_per_set = source.words_per_set;
+        self.tail_lanes = source.tail_lanes;
     }
 }
 
@@ -105,12 +143,22 @@ impl Cache {
         );
         let policy = ReplacementPolicy::new(replacement, geometry.sets, geometry.ways);
         let lines = geometry.lines();
+        let words_per_set = geometry.ways.div_ceil(8);
+        let tail_ways = geometry.ways - (words_per_set - 1) * 8;
+        let tail_lanes = if tail_ways == 8 {
+            LANE_HI
+        } else {
+            LANE_HI & ((1u64 << (tail_ways * 8)) - 1)
+        };
         Self {
-            slots: vec![WaySlot::default(); lines],
-            valid: vec![0; lines.div_ceil(64)],
+            fps: vec![0; geometry.sets * words_per_set],
+            tags: vec![0; lines],
+            stamps: vec![0; lines],
             metas: vec![LineMeta::default(); lines],
             set_mask: (geometry.sets as u64) - 1,
             set_shift: geometry.sets.trailing_zeros(),
+            words_per_set,
+            tail_lanes,
             geometry,
             policy,
         }
@@ -142,40 +190,97 @@ impl Cache {
         set * self.geometry.ways + way
     }
 
+    /// Lane markers (`LANE_HI` bits) of the real ways in fingerprint word
+    /// `word` of a set: full for every word but the last, `tail_lanes` there.
     #[inline]
-    fn is_valid(&self, idx: usize) -> bool {
-        self.valid[idx >> 6] & (1 << (idx & 63)) != 0
+    fn lanes_of(&self, word: usize) -> u64 {
+        if word + 1 == self.words_per_set {
+            self.tail_lanes
+        } else {
+            LANE_HI
+        }
     }
 
+    /// The fingerprint byte of `way` in `set` (`0x00` = empty way).
     #[inline]
-    fn set_valid(&mut self, idx: usize) {
-        self.valid[idx >> 6] |= 1 << (idx & 63);
+    fn fp_byte(&self, set: usize, way: usize) -> u8 {
+        (self.fps[set * self.words_per_set + (way >> 3)] >> ((way & 7) * 8)) as u8
     }
 
+    /// Overwrites the fingerprint byte of `way` in `set`.
     #[inline]
-    fn clear_valid(&mut self, idx: usize) {
-        self.valid[idx >> 6] &= !(1 << (idx & 63));
+    fn set_fp_byte(&mut self, set: usize, way: usize, fp: u8) {
+        let word = &mut self.fps[set * self.words_per_set + (way >> 3)];
+        let shift = (way & 7) * 8;
+        *word = (*word & !(0xFFu64 << shift)) | (u64::from(fp) << shift);
+    }
+
+    /// The branchless probe kernel: way holding `tag` in `set`, if resident.
+    ///
+    /// Each fingerprint word is compared against a lane-broadcast of the
+    /// target fingerprint in one SWAR subtract-and-mask; candidate lanes are
+    /// walked lowest-way-first with `trailing_zeros` and confirmed against
+    /// the full tag array. First confirmed way wins, preserving the scalar
+    /// linear scan's ascending-way order exactly.
+    #[inline]
+    fn probe_set(&self, set: usize, tag: u64) -> Option<usize> {
+        let target = u64::from(fingerprint(tag)).wrapping_mul(LANE_LO);
+        let word_base = set * self.words_per_set;
+        let base = set * self.geometry.ways;
+        // Fast path for geometries whose ways fit one fingerprint word
+        // (every L1/L2 in the shipped configs): no word loop, no per-word
+        // tail-lane branch.
+        if self.words_per_set == 1 {
+            let mut cand = zero_byte_lanes(self.fps[word_base] ^ target) & self.tail_lanes;
+            while cand != 0 {
+                let way = (cand.trailing_zeros() >> 3) as usize;
+                if self.tags[base + way] == tag {
+                    return Some(way);
+                }
+                cand &= cand - 1;
+            }
+            return None;
+        }
+        for word in 0..self.words_per_set {
+            let mut cand =
+                zero_byte_lanes(self.fps[word_base + word] ^ target) & self.lanes_of(word);
+            while cand != 0 {
+                let way = word * 8 + (cand.trailing_zeros() >> 3) as usize;
+                if self.tags[base + way] == tag {
+                    return Some(way);
+                }
+                cand &= cand - 1;
+            }
+        }
+        None
+    }
+
+    /// Lowest-index empty way of `set`, if any: one branchless complement-
+    /// and-mask per fingerprint word (exact — valid fingerprints always have
+    /// their MSB set, so an empty way is the only `0x00` lane).
+    #[inline]
+    fn first_invalid_way(&self, set: usize) -> Option<usize> {
+        let word_base = set * self.words_per_set;
+        for word in 0..self.words_per_set {
+            let empty = !self.fps[word_base + word] & self.lanes_of(word);
+            if empty != 0 {
+                return Some(word * 8 + (empty.trailing_zeros() >> 3) as usize);
+            }
+        }
+        None
     }
 
     #[inline]
     fn find(&self, line: LineAddr) -> Option<(usize, usize)> {
         let set = self.set_of(line);
-        let tag = self.tag_of(line);
-        let base = set * self.geometry.ways;
-        let slots = &self.slots[base..base + self.geometry.ways];
-        for (way, slot) in slots.iter().enumerate() {
-            if slot.tag == tag && self.is_valid(base + way) {
-                return Some((set, way));
-            }
-        }
-        None
+        Some((set, self.probe_set(set, self.tag_of(line))?))
     }
 
     /// Updates replacement state for a touch of `way` in `set`.
     #[inline]
     fn touch_way(&mut self, set: usize, way: usize) {
         if let Some(stamp) = self.policy.lru_stamp() {
-            self.slots[set * self.geometry.ways + way].stamp = stamp;
+            self.stamps[set * self.geometry.ways + way] = stamp;
         } else {
             self.policy.on_touch(set, way);
         }
@@ -186,12 +291,12 @@ impl Cache {
         if matches!(self.policy, ReplacementPolicy::Lru { .. }) {
             // First-minimum stamp scan, matching classic LRU tie-breaking.
             let base = set * self.geometry.ways;
-            let slots = &self.slots[base..base + self.geometry.ways];
+            let stamps = &self.stamps[base..base + self.geometry.ways];
             let mut best = 0;
             let mut best_stamp = Cycle::MAX;
-            for (way, slot) in slots.iter().enumerate() {
-                if slot.stamp < best_stamp {
-                    best_stamp = slot.stamp;
+            for (way, &stamp) in stamps.iter().enumerate() {
+                if stamp < best_stamp {
+                    best_stamp = stamp;
                     best = way;
                 }
             }
@@ -199,6 +304,19 @@ impl Cache {
         } else {
             self.policy.victim(set)
         }
+    }
+
+    /// Pulls the probe-critical metadata of `line`'s set toward the host
+    /// caches before the access executes: plain loads of the set's first
+    /// fingerprint word, tag, and stamp, pinned by [`std::hint::black_box`]
+    /// so they survive optimization. This is the scheduler's software
+    /// prefetch — the crate is `deny(unsafe_code)`, so an architectural
+    /// prefetch intrinsic is out; a discarded demand load warms the same
+    /// host cache lines.
+    #[inline]
+    pub fn prefetch_set(&self, line: LineAddr) {
+        let set = self.set_of(line);
+        std::hint::black_box(self.fps[set * self.words_per_set]);
     }
 
     /// Whether the line is resident.
@@ -238,29 +356,28 @@ impl Cache {
         let set = self.set_of(line);
         let tag = self.tag_of(line);
         // Already resident: overwrite metadata.
-        if let Some((set, way)) = self.find(line) {
+        if let Some(way) = self.probe_set(set, tag) {
             self.touch_way(set, way);
             let idx = self.slot_index(set, way);
             self.metas[idx] = meta;
             return None;
         }
-        // Prefer an invalid way.
-        for way in 0..self.geometry.ways {
+        // Prefer the lowest-index empty way.
+        if let Some(way) = self.first_invalid_way(set) {
             let idx = self.slot_index(set, way);
-            if !self.is_valid(idx) {
-                self.slots[idx].tag = tag;
-                self.metas[idx] = meta;
-                self.set_valid(idx);
-                self.touch_way(set, way);
-                return None;
-            }
+            self.set_fp_byte(set, way, fingerprint(tag));
+            self.tags[idx] = tag;
+            self.metas[idx] = meta;
+            self.touch_way(set, way);
+            return None;
         }
         // Evict a victim.
         let way = self.victim_way(set);
         let idx = self.slot_index(set, way);
-        let victim_tag = self.slots[idx].tag;
+        let victim_tag = self.tags[idx];
         let victim_meta = self.metas[idx];
-        self.slots[idx].tag = tag;
+        self.set_fp_byte(set, way, fingerprint(tag));
+        self.tags[idx] = tag;
         self.metas[idx] = meta;
         self.touch_way(set, way);
         Some(EvictedLine {
@@ -274,22 +391,52 @@ impl Cache {
         let (set, way) = self.find(line)?;
         let idx = self.slot_index(set, way);
         let meta = self.metas[idx];
-        self.slots[idx] = WaySlot::default();
+        self.set_fp_byte(set, way, 0);
+        self.tags[idx] = 0;
+        self.stamps[idx] = 0;
         self.metas[idx] = LineMeta::default();
-        self.clear_valid(idx);
         Some(meta)
     }
 
     /// Number of valid lines resident.
+    ///
+    /// Valid fingerprint bytes always have their MSB set and empty/pad bytes
+    /// are zero, so this is one popcount per fingerprint word.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.valid.iter().map(|w| w.count_ones() as usize).sum()
+        self.fps
+            .iter()
+            .map(|w| (w & LANE_HI).count_ones() as usize)
+            .sum()
     }
 
     /// Whether the cache holds no lines.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.valid.iter().all(|&w| w == 0)
+        self.fps.iter().all(|&w| w == 0)
+    }
+
+    /// Way index the branchless fingerprint kernel resolves `line` to, if
+    /// resident. Public for the differential suite in
+    /// `tests/fingerprint_kernel.rs`; not part of the simulation API.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn probe_way(&self, line: LineAddr) -> Option<usize> {
+        self.probe_set(self.set_of(line), self.tag_of(line))
+    }
+
+    /// Reference scalar lookup: a plain ascending linear scan over validity
+    /// and full tags, retained as the oracle the SWAR kernel is
+    /// differentially tested against. Public for
+    /// `tests/fingerprint_kernel.rs`; not part of the simulation API.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn probe_way_scalar(&self, line: LineAddr) -> Option<usize> {
+        let set = self.set_of(line);
+        let tag = self.tag_of(line);
+        let base = set * self.geometry.ways;
+        (0..self.geometry.ways)
+            .find(|&way| self.fp_byte(set, way) != 0 && self.tags[base + way] == tag)
     }
 
     /// Whether this cache runs true LRU replacement.
@@ -339,10 +486,10 @@ impl Cache {
         for way in 0..ways {
             let idx = base + way;
             image.ways.push(WayImage {
-                tag: self.slots[idx].tag,
-                stamp: self.slots[idx].stamp,
+                tag: self.tags[idx],
+                stamp: self.stamps[idx],
                 meta: self.metas[idx],
-                valid: self.is_valid(idx),
+                valid: self.fp_byte(set, way) != 0,
                 fill_ann: NO_FILL_ANN,
             });
         }
@@ -360,32 +507,27 @@ impl Cache {
         let base = set * self.geometry.ways;
         for (way, w) in image.ways.iter().enumerate() {
             let idx = base + way;
-            self.slots[idx] = WaySlot {
-                tag: w.tag,
-                stamp: w.stamp,
-            };
+            self.tags[idx] = w.tag;
+            self.stamps[idx] = w.stamp;
             self.metas[idx] = w.meta;
-            if w.valid {
-                self.set_valid(idx);
-            } else {
-                self.clear_valid(idx);
-            }
+            let fp = if w.valid { fingerprint(w.tag) } else { 0 };
+            self.set_fp_byte(set, way, fp);
         }
     }
 
     /// Iterates over resident lines and their metadata.
     pub fn resident_lines(&self) -> impl Iterator<Item = (LineAddr, &LineMeta)> + '_ {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter_map(move |(idx, slot)| {
-                if self.is_valid(idx) {
-                    let set = idx / self.geometry.ways;
-                    Some((self.line_of(set, slot.tag), &self.metas[idx]))
+        let ways = self.geometry.ways;
+        (0..self.geometry.sets).flat_map(move |set| {
+            (0..ways).filter_map(move |way| {
+                if self.fp_byte(set, way) != 0 {
+                    let idx = set * ways + way;
+                    Some((self.line_of(set, self.tags[idx]), &self.metas[idx]))
                 } else {
                     None
                 }
             })
+        })
     }
 }
 
@@ -573,26 +715,20 @@ mod tests {
     fn refill_of_resident_line_replaces_meta_without_eviction() {
         let mut c = cache(2, 1);
         c.fill(LineAddr(0), LineMeta::default());
-        let meta = LineMeta {
-            dirty: true,
-            ..LineMeta::default()
-        };
+        let meta = LineMeta::default().with_dirty(true);
         let evicted = c.fill(LineAddr(0), meta);
         assert!(evicted.is_none());
-        assert!(c.peek(LineAddr(0)).expect("resident").dirty);
+        assert!(c.peek(LineAddr(0)).expect("resident").dirty());
         assert_eq!(c.len(), 1);
     }
 
     #[test]
     fn invalidate_removes_and_returns_meta() {
         let mut c = cache(2, 2);
-        let meta = LineMeta {
-            protected: true,
-            ..LineMeta::default()
-        };
+        let meta = LineMeta::default().with_protected(true);
         c.fill(LineAddr(6), meta);
         let got = c.invalidate(LineAddr(6)).expect("resident");
-        assert!(got.protected);
+        assert!(got.protected());
         assert!(!c.contains(LineAddr(6)));
         assert!(c.invalidate(LineAddr(6)).is_none());
     }
@@ -632,8 +768,10 @@ mod tests {
     fn meta_mutation_via_peek_mut() {
         let mut c = cache(2, 1);
         c.fill(LineAddr(1), LineMeta::default());
-        c.peek_mut(LineAddr(1)).expect("resident").accessed = true;
-        assert!(c.peek(LineAddr(1)).expect("resident").accessed);
+        c.peek_mut(LineAddr(1))
+            .expect("resident")
+            .set_accessed(true);
+        assert!(c.peek(LineAddr(1)).expect("resident").accessed());
     }
 
     #[test]
@@ -734,6 +872,38 @@ mod tests {
             .fill(tag, LineMeta::default(), 99, NO_FILL_ANN)
             .is_none());
         assert_eq!(img.find(tag), Some(1), "second way was invalid");
+    }
+
+    #[test]
+    fn import_rebuilds_fingerprints_for_both_lookups() {
+        // 12 ways: the fingerprint layout has a partial tail word, so the
+        // rebuilt pad lanes must stay empty. Import into a fresh cache and
+        // check both probe paths agree with the original everywhere.
+        let geometry = CacheGeometry {
+            sets: 4,
+            ways: 12,
+            latency: 1,
+        };
+        let mut c = Cache::new(geometry, Replacement::Lru);
+        for i in 0..96u64 {
+            c.fill(LineAddr(i * 3), LineMeta::default());
+        }
+        let mut rebuilt = Cache::new(geometry, Replacement::Lru);
+        let mut img = SetImage::default();
+        for set in 0..geometry.sets {
+            c.export_set(set, &mut img);
+            rebuilt.import_set(set, &img);
+        }
+        for i in 0..400u64 {
+            let line = LineAddr(i);
+            assert_eq!(rebuilt.probe_way(line), c.probe_way(line), "line {i}");
+            assert_eq!(
+                rebuilt.probe_way(line),
+                rebuilt.probe_way_scalar(line),
+                "line {i}"
+            );
+        }
+        assert_eq!(rebuilt.len(), c.len());
     }
 
     #[test]

@@ -60,6 +60,24 @@ impl Access {
 pub trait AccessSource {
     /// Produces the next access, or `None` when done.
     fn next_access(&mut self) -> Option<Access>;
+
+    /// Appends up to `max` accesses to `buf`, stopping early if the source
+    /// runs dry. Appending nothing means the workload is exhausted.
+    ///
+    /// The default implementation loops [`next_access`](Self::next_access);
+    /// generators override it to amortize per-access overhead (RNG state
+    /// loads, bounds setup) across the whole batch. An override must produce
+    /// the *identical* access sequence as repeated `next_access` calls —
+    /// cores mix the two paths freely (e.g. after an epoch rollback), and
+    /// the golden suites pin the merged stream.
+    fn refill(&mut self, buf: &mut Vec<Access>, max: usize) {
+        for _ in 0..max {
+            match self.next_access() {
+                Some(access) => buf.push(access),
+                None => break,
+            }
+        }
+    }
 }
 
 impl<F> AccessSource for F
@@ -71,6 +89,11 @@ where
     }
 }
 
+/// How many accesses a core pulls from its source per refill. Small enough
+/// that peeking the next access stays inside one batch most of the time,
+/// large enough to amortize the generator's per-call overhead.
+const BATCH: usize = 64;
+
 /// An in-order, blocking core: one outstanding memory access at a time,
 /// IPC = 1 for non-memory instructions.
 pub struct Core {
@@ -79,6 +102,11 @@ pub struct Core {
     /// Accesses pushed back by a rolled-back speculative epoch; consumed
     /// before the source so a re-execution replays the identical stream.
     lookahead: VecDeque<Access>,
+    /// Pre-drawn accesses from the source ([`AccessSource::refill`]); the
+    /// cursor `batch_pos` marks the next unconsumed entry. Consumed entries
+    /// never return here — rollback re-injects them via `lookahead`.
+    batch: Vec<Access>,
+    batch_pos: usize,
     /// Local clock: when the core can issue its next instruction.
     now: Cycle,
     /// Instructions retired so far (memory + non-memory).
@@ -105,6 +133,8 @@ impl Core {
             id,
             source,
             lookahead: VecDeque::new(),
+            batch: Vec::with_capacity(BATCH),
+            batch_pos: 0,
             now: 0,
             retired: 0,
             exhausted: false,
@@ -138,7 +168,11 @@ impl Core {
     /// Executes the next access (compute gap + memory operation).
     ///
     /// Returns `false` when the source is exhausted.
-    pub fn step(&mut self, hierarchy: &mut Hierarchy, observer: &mut dyn TrafficObserver) -> bool {
+    pub fn step<O: TrafficObserver + ?Sized>(
+        &mut self,
+        hierarchy: &mut Hierarchy,
+        observer: &mut O,
+    ) -> bool {
         let Some(access) = self.pull_access() else {
             return false;
         };
@@ -151,18 +185,42 @@ impl Core {
     }
 
     /// Takes the next access from the rollback lookahead, falling back to the
-    /// source; marks the core exhausted when both run dry.
+    /// pre-drawn batch (refilled from the source when empty); marks the core
+    /// exhausted when all three run dry.
+    #[inline]
     fn pull_access(&mut self) -> Option<Access> {
         if let Some(access) = self.lookahead.pop_front() {
             return Some(access);
         }
-        match self.source.next_access() {
-            Some(access) => Some(access),
-            None => {
+        if self.batch_pos == self.batch.len() {
+            self.refill_batch();
+            if self.batch.is_empty() {
                 self.exhausted = true;
-                None
+                return None;
             }
         }
+        let access = self.batch[self.batch_pos];
+        self.batch_pos += 1;
+        Some(access)
+    }
+
+    /// The once-per-[`BATCH`] slow path of [`pull_access`](Self::pull_access),
+    /// kept out of line so the per-access fast path stays compact.
+    #[cold]
+    fn refill_batch(&mut self) {
+        self.batch.clear();
+        self.batch_pos = 0;
+        self.source.refill(&mut self.batch, BATCH);
+    }
+
+    /// Address of the next access the core will issue, if already known
+    /// (rollback lookahead first, then the pre-drawn batch). Never advances
+    /// the source.
+    pub(crate) fn peek_addr(&self) -> Option<Addr> {
+        if let Some(access) = self.lookahead.front() {
+            return Some(access.addr);
+        }
+        self.batch.get(self.batch_pos).map(|a| a.addr)
     }
 
     /// Begins one speculative step: pulls the next access, records it on

@@ -730,9 +730,7 @@ impl ShardExec<'_> {
 
         // ---- L1 hit ----
         if let Some(meta) = self.l1[li].touch(line) {
-            if is_write {
-                meta.dirty = true;
-            }
+            meta.or_dirty(is_write);
             let mut latency = self.config.l1.latency;
             if is_write {
                 latency += self.write_upgrade(core, line, start, now);
@@ -754,12 +752,10 @@ impl ShardExec<'_> {
 
         // ---- L3 hit (speculative: probes the LLC clone) ----
         if let Some(meta) = self.llc.touch(line) {
-            meta.accessed = true;
-            meta.prefetched = false;
+            meta.set_accessed(true);
+            meta.set_prefetched(false);
             meta.sharers.insert(core);
-            if is_write {
-                meta.dirty = true;
-            }
+            meta.or_dirty(is_write);
             let mut latency = self.config.l3.latency;
             let mut coherence = SharerSet::empty();
             if is_write {
@@ -837,11 +833,11 @@ impl ShardExec<'_> {
             let li = c.0 - self.base;
             if let Some(m) = self.l1[li].invalidate(evicted.line) {
                 self.stats.back_invalidations += 1;
-                private_dirty |= m.dirty;
+                private_dirty |= m.dirty();
             }
             if let Some(m) = self.l2[li].invalidate(evicted.line) {
                 self.stats.back_invalidations += 1;
-                private_dirty |= m.dirty;
+                private_dirty |= m.dirty();
             }
         }
         Some(PredictedEvict {
@@ -859,10 +855,10 @@ impl ShardExec<'_> {
             return;
         }
         if let Some(evicted) = self.l2[li].fill(line, LineMeta::default()) {
-            let mut dirty = evicted.meta.dirty;
+            let mut dirty = evicted.meta.dirty();
             if let Some(m) = self.l1[li].invalidate(evicted.line) {
                 self.stats.back_invalidations += 1;
-                dirty |= m.dirty;
+                dirty |= m.dirty();
             }
             self.demote(core, evicted.line, dirty, start, now);
         }
@@ -872,17 +868,14 @@ impl ShardExec<'_> {
     fn fill_l1(&mut self, core: CoreId, line: LineAddr, is_write: bool, start: Cycle, now: Cycle) {
         let li = core.0 - self.base;
         if let Some(meta) = self.l1[li].touch(line) {
-            meta.dirty |= is_write;
+            meta.or_dirty(is_write);
             return;
         }
-        let meta = LineMeta {
-            dirty: is_write,
-            ..LineMeta::default()
-        };
+        let meta = LineMeta::default().with_dirty(is_write);
         if let Some(evicted) = self.l1[li].fill(line, meta) {
-            if evicted.meta.dirty {
+            if evicted.meta.dirty() {
                 if let Some(m) = self.l2[li].peek_mut(evicted.line) {
-                    m.dirty = true;
+                    m.set_dirty(true);
                 } else {
                     self.demote(core, evicted.line, true, start, now);
                 }
@@ -897,7 +890,7 @@ impl ShardExec<'_> {
     fn demote(&mut self, core: CoreId, line: LineAddr, dirty: bool, start: Cycle, now: Cycle) {
         if let Some(m) = self.llc.peek_mut(line) {
             m.sharers.remove(core);
-            m.dirty |= dirty;
+            m.or_dirty(dirty);
         }
         // Writeback accounting for a vanished LLC copy happens at verify.
         self.log.push(LlcOp {
@@ -917,7 +910,7 @@ impl ShardExec<'_> {
     fn write_upgrade(&mut self, core: CoreId, line: LineAddr, start: Cycle, now: Cycle) -> Cycle {
         let mut needs_invalidation = false;
         if let Some(meta) = self.llc.peek_mut(line) {
-            meta.dirty = true;
+            meta.set_dirty(true);
             if !meta.sharers.is_sole(core) && !meta.sharers.is_empty() {
                 needs_invalidation = true;
             } else {
@@ -1114,13 +1107,11 @@ fn verify_op(
                 if predicted.served != Level::L3 {
                     return Err(Conflict);
                 }
-                let prefetch_hit = meta.prefetched && !meta.accessed;
-                meta.accessed = true;
-                meta.prefetched = false;
+                let prefetch_hit = meta.prefetched() && !meta.accessed();
+                meta.set_accessed(true);
+                meta.set_prefetched(false);
                 meta.sharers.insert(core);
-                if is_write {
-                    meta.dirty = true;
-                }
+                meta.or_dirty(is_write);
                 if prefetch_hit {
                     stats.prefetch_hits += 1;
                 }
@@ -1185,7 +1176,7 @@ fn verify_op(
         } => {
             let mut needs_invalidation = false;
             if let Some(meta) = image.peek_mut(tag) {
-                meta.dirty = true;
+                meta.set_dirty(true);
                 if !meta.sharers.is_sole(core) && !meta.sharers.is_empty() {
                     needs_invalidation = true;
                 } else {
@@ -1209,7 +1200,7 @@ fn verify_op(
             // authoritatively (mirror of `demote_private_copy`).
             if let Some(m) = image.peek_mut(tag) {
                 m.sharers.remove(core);
-                m.dirty |= private_dirty;
+                m.or_dirty(private_dirty);
             } else if private_dirty {
                 *dram_writes += 1;
                 stats.writebacks += 1;
@@ -1261,13 +1252,13 @@ fn verify_fill_outcome(
                 if evicted.meta.sharers.bits() & !masks[core.0] != 0 {
                     return Err(Conflict);
                 }
-                dirty = evicted.meta.dirty | pe_private_dirty;
+                dirty = evicted.meta.dirty() | pe_private_dirty;
             } else if evicted.meta.sharers.is_empty() && pe_sharers.is_empty() {
                 // Victim mismatch with no private copies on either side: no
                 // back-invalidation was needed or performed, the observer is
                 // notified with the authoritative victim, and the shard's
                 // clone divergence is discarded at the barrier.
-                dirty = evicted.meta.dirty;
+                dirty = evicted.meta.dirty();
             } else {
                 return Err(Conflict);
             }
@@ -1280,8 +1271,8 @@ fn verify_fill_outcome(
                 now,
                 line: evicted_line,
                 kind: EffectKind::Evict {
-                    protected: evicted.meta.protected,
-                    accessed: evicted.meta.accessed,
+                    protected: evicted.meta.protected(),
+                    accessed: evicted.meta.accessed(),
                     protect_from: evicted.fill_ann,
                 },
             });
@@ -1417,7 +1408,7 @@ pub(crate) fn commit_absorb(
             for way in image.ways.iter_mut() {
                 if way.valid && way.fill_ann != NO_FILL_ANN {
                     if let EffectKind::Fetch { protect } = ann[way.fill_ann as usize].kind {
-                        way.meta.protected = protect;
+                        way.meta.set_protected(protect);
                     }
                 }
             }
@@ -1489,13 +1480,11 @@ fn replay_op(
                 if predicted.served != Level::L3 {
                     return Err(Conflict);
                 }
-                let prefetch_hit = meta.prefetched && !meta.accessed;
-                meta.accessed = true;
-                meta.prefetched = false;
+                let prefetch_hit = meta.prefetched() && !meta.accessed();
+                meta.set_accessed(true);
+                meta.set_prefetched(false);
                 meta.sharers.insert(core);
-                if is_write {
-                    meta.dirty = true;
-                }
+                meta.or_dirty(is_write);
                 if prefetch_hit {
                     hierarchy.stats.prefetch_hits += 1;
                 }
@@ -1545,7 +1534,7 @@ fn replay_op(
         } => {
             let mut needs_invalidation = false;
             if let Some(meta) = hierarchy.l3.peek_mut(line) {
-                meta.dirty = true;
+                meta.set_dirty(true);
                 if !meta.sharers.is_sole(core) && !meta.sharers.is_empty() {
                     needs_invalidation = true;
                 } else {
@@ -1569,7 +1558,7 @@ fn replay_op(
             // authoritatively (mirror of `demote_private_copy`).
             if let Some(m) = hierarchy.l3.peek_mut(line) {
                 m.sharers.remove(core);
-                m.dirty |= private_dirty;
+                m.or_dirty(private_dirty);
             } else if private_dirty {
                 hierarchy.dram.write();
                 hierarchy.stats.writebacks += 1;
@@ -1618,13 +1607,13 @@ fn replay_fill(
                 if evicted.meta.sharers.bits() & !masks[core.0] != 0 {
                     return Err(Conflict);
                 }
-                dirty = evicted.meta.dirty | pe_private_dirty;
+                dirty = evicted.meta.dirty() | pe_private_dirty;
             } else if evicted.meta.sharers.is_empty() && pe_sharers.is_empty() {
                 // Victim mismatch with no private copies on either side: no
                 // back-invalidation was needed or performed, the observer is
                 // notified with the authoritative victim below, and the
                 // worker's clone divergence is discarded at the barrier.
-                dirty = evicted.meta.dirty;
+                dirty = evicted.meta.dirty();
             } else {
                 return Err(Conflict);
             }
@@ -1634,8 +1623,8 @@ fn replay_fill(
             }
             observer.on_llc_eviction(
                 evicted.line,
-                evicted.meta.protected,
-                evicted.meta.accessed,
+                evicted.meta.protected(),
+                evicted.meta.accessed(),
                 now,
             );
             Ok(())

@@ -142,18 +142,30 @@ impl Hierarchy {
         self.l3.peek(addr.line(self.line_size()))
     }
 
+    /// Warms the host caches with the probe-critical set metadata of an
+    /// upcoming access by `core` (the scheduler's software prefetch): a
+    /// plain discarded load of the LLC fingerprint word the next
+    /// [`access`](Self::access) may scan. The L1 arrays are small enough to
+    /// stay host-resident on their own, so only the LLC is touched.
+    #[inline]
+    pub fn prefetch_hint(&self, core: CoreId, addr: Addr) {
+        let _ = core;
+        self.l3.prefetch_set(LineAddr(addr.0 >> self.line_shift));
+    }
+
     /// Performs one memory access by `core` at time `now`.
     ///
     /// Returns the latency and serving level. The observer is consulted on
     /// LLC→memory fetches (to tag protected lines) and notified of LLC
     /// evictions.
-    pub fn access(
+    #[inline]
+    pub fn access<O: TrafficObserver + ?Sized>(
         &mut self,
         core: CoreId,
         addr: Addr,
         kind: AccessKind,
         now: Cycle,
-        observer: &mut dyn TrafficObserver,
+        observer: &mut O,
     ) -> AccessResult {
         let line = LineAddr(addr.0 >> self.line_shift);
         let is_write = kind.is_write();
@@ -164,9 +176,7 @@ impl Hierarchy {
 
         // ---- L1 hit ----
         if let Some(meta) = self.l1[core.0].touch(line) {
-            if is_write {
-                meta.dirty = true;
-            }
+            meta.or_dirty(is_write);
             let mut latency = self.config.l1.latency;
             if is_write {
                 latency += self.write_upgrade(core, line);
@@ -178,7 +188,22 @@ impl Hierarchy {
                 prefetch_hit: false,
             };
         }
+        self.access_miss(core, line, is_write, now, observer)
+    }
 
+    /// The L1-miss continuation of [`access`](Self::access), kept out of
+    /// line: L2/L3/memory handling (fills, coherence, observer events) is an
+    /// order of magnitude rarer than an L1 hit, and inlining it would bloat
+    /// the per-access fast path in every instantiation of the run loop.
+    #[inline(never)]
+    fn access_miss<O: TrafficObserver + ?Sized>(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        is_write: bool,
+        now: Cycle,
+        observer: &mut O,
+    ) -> AccessResult {
         // ---- L2 hit ----
         if self.l2[core.0].touch(line).is_some() {
             self.fill_l1(core, line, is_write);
@@ -196,13 +221,11 @@ impl Hierarchy {
 
         // ---- L3 hit ----
         if let Some(meta) = self.l3.touch(line) {
-            let prefetch_hit = meta.prefetched && !meta.accessed;
-            meta.accessed = true;
-            meta.prefetched = false;
+            let prefetch_hit = meta.prefetched() && !meta.accessed();
+            meta.set_accessed(true);
+            meta.set_prefetched(false);
             meta.sharers.insert(core);
-            if is_write {
-                meta.dirty = true;
-            }
+            meta.or_dirty(is_write);
             if prefetch_hit {
                 self.stats.prefetch_hits += 1;
             }
@@ -240,14 +263,14 @@ impl Hierarchy {
     /// If the line is already resident its protection tag is refreshed;
     /// otherwise a DRAM prefetch read fills it with
     /// [`LineMeta::prefetch_fill`] metadata (protected, not yet accessed).
-    pub fn insert_prefetch(
+    pub fn insert_prefetch<O: TrafficObserver + ?Sized>(
         &mut self,
         line: LineAddr,
         now: Cycle,
-        observer: &mut dyn TrafficObserver,
+        observer: &mut O,
     ) {
         if let Some(meta) = self.l3.peek_mut(line) {
-            meta.protected = true;
+            meta.set_protected(true);
             return;
         }
         self.dram.prefetch_read();
@@ -262,7 +285,7 @@ impl Hierarchy {
     /// scheduled *during* insertion — e.g. by eviction notifications the
     /// inserts trigger — wait for the next drain), so steady-state draining
     /// performs no heap allocation.
-    pub fn drain_prefetches(&mut self, now: Cycle, observer: &mut dyn TrafficObserver) {
+    pub fn drain_prefetches<O: TrafficObserver + ?Sized>(&mut self, now: Cycle, observer: &mut O) {
         match observer.next_prefetch_due() {
             Some(due) if due <= now => {}
             _ => return,
@@ -279,27 +302,27 @@ impl Hierarchy {
     /// Fills a line into the LLC, handling eviction of a victim: inclusive
     /// back-invalidation of private copies, dirty writeback, and the pEvict
     /// notification to the observer.
-    fn fill_l3(
+    fn fill_l3<O: TrafficObserver + ?Sized>(
         &mut self,
         line: LineAddr,
         meta: LineMeta,
         now: Cycle,
-        observer: &mut dyn TrafficObserver,
+        observer: &mut O,
     ) {
         if let Some(evicted) = self.l3.fill(line, meta) {
             self.stats.llc_evictions += 1;
-            let mut dirty = evicted.meta.dirty;
+            let mut dirty = evicted.meta.dirty();
             // Private copies can only live in cores recorded as sharers
             // (inclusivity keeps the directory a superset of the private
             // holders), so iterate the sharer bitmap instead of all cores.
             for c in evicted.meta.sharers.iter() {
                 if let Some(m) = self.l1[c.0].invalidate(evicted.line) {
                     self.stats.back_invalidations += 1;
-                    dirty |= m.dirty;
+                    dirty |= m.dirty();
                 }
                 if let Some(m) = self.l2[c.0].invalidate(evicted.line) {
                     self.stats.back_invalidations += 1;
-                    dirty |= m.dirty;
+                    dirty |= m.dirty();
                 }
             }
             if dirty {
@@ -308,8 +331,8 @@ impl Hierarchy {
             }
             observer.on_llc_eviction(
                 evicted.line,
-                evicted.meta.protected,
-                evicted.meta.accessed,
+                evicted.meta.protected(),
+                evicted.meta.accessed(),
                 now,
             );
         }
@@ -322,10 +345,10 @@ impl Hierarchy {
             return;
         }
         if let Some(evicted) = self.l2[core.0].fill(line, LineMeta::default()) {
-            let mut dirty = evicted.meta.dirty;
+            let mut dirty = evicted.meta.dirty();
             if let Some(m) = self.l1[core.0].invalidate(evicted.line) {
                 self.stats.back_invalidations += 1;
-                dirty |= m.dirty;
+                dirty |= m.dirty();
             }
             self.demote_private_copy(core, evicted.line, dirty);
         }
@@ -334,17 +357,14 @@ impl Hierarchy {
     /// Fills a line into `core`'s L1, propagating a dirty victim into L2.
     fn fill_l1(&mut self, core: CoreId, line: LineAddr, is_write: bool) {
         if let Some(meta) = self.l1[core.0].touch(line) {
-            meta.dirty |= is_write;
+            meta.or_dirty(is_write);
             return;
         }
-        let meta = LineMeta {
-            dirty: is_write,
-            ..LineMeta::default()
-        };
+        let meta = LineMeta::default().with_dirty(is_write);
         if let Some(evicted) = self.l1[core.0].fill(line, meta) {
-            if evicted.meta.dirty {
+            if evicted.meta.dirty() {
                 if let Some(m) = self.l2[core.0].peek_mut(evicted.line) {
-                    m.dirty = true;
+                    m.set_dirty(true);
                 } else {
                     // L2 copy vanished (back-invalidated between fills):
                     // fold the dirtiness into the LLC copy or write back.
@@ -360,7 +380,7 @@ impl Hierarchy {
     fn demote_private_copy(&mut self, core: CoreId, line: LineAddr, dirty: bool) {
         if let Some(m) = self.l3.peek_mut(line) {
             m.sharers.remove(core);
-            m.dirty |= dirty;
+            m.or_dirty(dirty);
         } else if dirty {
             self.dram.write();
             self.stats.writebacks += 1;
@@ -372,7 +392,7 @@ impl Hierarchy {
     /// round trip when an upgrade was needed, 0 otherwise).
     fn write_upgrade(&mut self, core: CoreId, line: LineAddr) -> Cycle {
         if let Some(meta) = self.l3.peek_mut(line) {
-            meta.dirty = true;
+            meta.set_dirty(true);
             if !meta.sharers.is_sole(core) && !meta.sharers.is_empty() {
                 return self.invalidate_other_sharers(core, line);
             }
@@ -500,7 +520,7 @@ mod tests {
         assert!(h.stats().coherence_invalidations > 0);
         let meta = h.llc_meta(Addr(0x2000)).expect("resident");
         assert!(meta.sharers.is_sole(CoreId(1)));
-        assert!(meta.dirty);
+        assert!(meta.dirty());
     }
 
     #[test]
@@ -540,8 +560,8 @@ mod tests {
         obs.tag_lines.push(line);
         h.access(CoreId(0), Addr(0x4000), AccessKind::Read, 0, &mut obs);
         let meta = h.llc_meta(Addr(0x4000)).expect("resident");
-        assert!(meta.protected);
-        assert!(meta.accessed, "demand fill counts as accessed");
+        assert!(meta.protected());
+        assert!(meta.accessed(), "demand fill counts as accessed");
     }
 
     #[test]
@@ -551,9 +571,9 @@ mod tests {
         let line = Addr(0x8000).line(64);
         h.insert_prefetch(line, 0, &mut obs);
         let meta = h.llc_meta(Addr(0x8000)).expect("resident");
-        assert!(meta.protected);
-        assert!(!meta.accessed);
-        assert!(meta.prefetched);
+        assert!(meta.protected());
+        assert!(!meta.accessed());
+        assert!(meta.prefetched());
         assert_eq!(h.stats().prefetch_fills, 1);
         assert_eq!(h.dram().prefetch_reads(), 1);
     }
@@ -580,7 +600,7 @@ mod tests {
         h.access(CoreId(0), Addr(0x1000), AccessKind::Read, 0, &mut obs);
         h.insert_prefetch(Addr(0x1000).line(64), 1, &mut obs);
         assert_eq!(h.stats().prefetch_fills, 0);
-        assert!(h.llc_meta(Addr(0x1000)).expect("resident").protected);
+        assert!(h.llc_meta(Addr(0x1000)).expect("resident").protected());
     }
 
     #[test]

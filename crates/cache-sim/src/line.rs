@@ -96,10 +96,20 @@ impl Iterator for SharerIter {
 
 impl ExactSizeIterator for SharerIter {}
 
-/// Metadata carried by a cached line.
+/// Flag bit: line holds data newer than memory.
+const DIRTY: u8 = 1 << 0;
+/// Flag bit: PiPoMonitor Ping-Pong tag.
+const PROTECTED: u8 = 1 << 1;
+/// Flag bit: tagged line has been demand-accessed since entering the LLC.
+const ACCESSED: u8 = 1 << 2;
+/// Flag bit: line entered the LLC via prefetch, not yet demand-touched.
+const PREFETCHED: u8 = 1 << 3;
+
+/// Metadata carried by a cached line, packed to nine meaningful bytes: the
+/// 64-bit sharer bitmap plus one flag byte holding the four status bits.
 ///
-/// Private caches use `dirty`; the LLC additionally maintains the sharer set
-/// (directory) and PiPoMonitor's protection bits:
+/// Private caches use the dirty flag; the LLC additionally maintains the
+/// sharer set (directory) and PiPoMonitor's protection bits:
 ///
 /// * `protected` — the line was captured as a Ping-Pong line (tagged at fill
 ///   time by the monitor's response).
@@ -110,29 +120,20 @@ impl ExactSizeIterator for SharerIter {}
 ///   (statistics only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct LineMeta {
-    /// Line holds data newer than memory.
-    pub dirty: bool,
     /// Cores caching this line privately (LLC only).
     pub sharers: SharerSet,
-    /// PiPoMonitor Ping-Pong tag.
-    pub protected: bool,
-    /// Tagged line has been demand-accessed since entering the LLC.
-    pub accessed: bool,
-    /// Line entered the LLC via prefetch and has not been demand-touched yet.
-    pub prefetched: bool,
+    flags: u8,
 }
 
 impl LineMeta {
     /// Metadata for a line filled on a demand miss by `core`.
+    ///
+    /// The demand access itself counts as the first access.
     #[must_use]
     pub fn demand_fill(core: CoreId, is_write: bool, protected: bool) -> Self {
         Self {
-            dirty: is_write,
             sharers: SharerSet::only(core),
-            protected,
-            // The demand access itself counts as the first access.
-            accessed: true,
-            prefetched: false,
+            flags: ACCESSED | (DIRTY * u8::from(is_write)) | (PROTECTED * u8::from(protected)),
         }
     }
 
@@ -141,12 +142,100 @@ impl LineMeta {
     #[must_use]
     pub fn prefetch_fill() -> Self {
         Self {
-            dirty: false,
             sharers: SharerSet::empty(),
-            protected: true,
-            accessed: false,
-            prefetched: true,
+            flags: PROTECTED | PREFETCHED,
         }
+    }
+
+    #[inline]
+    fn put(&mut self, bit: u8, value: bool) {
+        self.flags = (self.flags & !bit) | (bit * u8::from(value));
+    }
+
+    /// Line holds data newer than memory.
+    #[inline]
+    #[must_use]
+    pub fn dirty(&self) -> bool {
+        self.flags & DIRTY != 0
+    }
+
+    /// Sets the dirty flag.
+    #[inline]
+    pub fn set_dirty(&mut self, value: bool) {
+        self.put(DIRTY, value);
+    }
+
+    /// ORs `value` into the dirty flag (branchless dirtiness propagation).
+    #[inline]
+    pub fn or_dirty(&mut self, value: bool) {
+        self.flags |= DIRTY * u8::from(value);
+    }
+
+    /// PiPoMonitor Ping-Pong tag.
+    #[inline]
+    #[must_use]
+    pub fn protected(&self) -> bool {
+        self.flags & PROTECTED != 0
+    }
+
+    /// Sets the protection tag.
+    #[inline]
+    pub fn set_protected(&mut self, value: bool) {
+        self.put(PROTECTED, value);
+    }
+
+    /// Tagged line has been demand-accessed since entering the LLC.
+    #[inline]
+    #[must_use]
+    pub fn accessed(&self) -> bool {
+        self.flags & ACCESSED != 0
+    }
+
+    /// Sets the accessed flag.
+    #[inline]
+    pub fn set_accessed(&mut self, value: bool) {
+        self.put(ACCESSED, value);
+    }
+
+    /// Line entered the LLC via prefetch and has not been demand-touched yet.
+    #[inline]
+    #[must_use]
+    pub fn prefetched(&self) -> bool {
+        self.flags & PREFETCHED != 0
+    }
+
+    /// Sets the prefetched flag.
+    #[inline]
+    pub fn set_prefetched(&mut self, value: bool) {
+        self.put(PREFETCHED, value);
+    }
+
+    /// Builder: returns `self` with the dirty flag set to `value`.
+    #[must_use]
+    pub fn with_dirty(mut self, value: bool) -> Self {
+        self.set_dirty(value);
+        self
+    }
+
+    /// Builder: returns `self` with the protection tag set to `value`.
+    #[must_use]
+    pub fn with_protected(mut self, value: bool) -> Self {
+        self.set_protected(value);
+        self
+    }
+
+    /// Builder: returns `self` with the accessed flag set to `value`.
+    #[must_use]
+    pub fn with_accessed(mut self, value: bool) -> Self {
+        self.set_accessed(value);
+        self
+    }
+
+    /// Builder: returns `self` with the prefetched flag set to `value`.
+    #[must_use]
+    pub fn with_prefetched(mut self, value: bool) -> Self {
+        self.set_prefetched(value);
+        self
     }
 }
 
@@ -201,20 +290,40 @@ mod tests {
     #[test]
     fn demand_fill_meta() {
         let m = LineMeta::demand_fill(CoreId(1), true, false);
-        assert!(m.dirty);
+        assert!(m.dirty());
         assert!(m.sharers.is_sole(CoreId(1)));
-        assert!(!m.protected);
-        assert!(m.accessed);
-        assert!(!m.prefetched);
+        assert!(!m.protected());
+        assert!(m.accessed());
+        assert!(!m.prefetched());
     }
 
     #[test]
     fn prefetch_fill_meta() {
         let m = LineMeta::prefetch_fill();
-        assert!(!m.dirty);
+        assert!(!m.dirty());
         assert!(m.sharers.is_empty());
-        assert!(m.protected);
-        assert!(!m.accessed);
-        assert!(m.prefetched);
+        assert!(m.protected());
+        assert!(!m.accessed());
+        assert!(m.prefetched());
+    }
+
+    #[test]
+    fn flag_setters_round_trip() {
+        let mut m = LineMeta::default();
+        m.set_dirty(true);
+        m.set_accessed(true);
+        assert!(m.dirty() && m.accessed() && !m.protected() && !m.prefetched());
+        m.set_dirty(false);
+        assert!(!m.dirty() && m.accessed());
+        m.or_dirty(false);
+        assert!(!m.dirty());
+        m.or_dirty(true);
+        assert!(m.dirty());
+        let b = LineMeta::default()
+            .with_dirty(true)
+            .with_protected(true)
+            .with_accessed(true)
+            .with_prefetched(true);
+        assert!(b.dirty() && b.protected() && b.accessed() && b.prefetched());
     }
 }

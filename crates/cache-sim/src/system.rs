@@ -126,6 +126,44 @@ pub struct System<O: TrafficObserver> {
     observer_backup: Option<O>,
 }
 
+/// Core-count ceiling for the linear-scan scheduler; larger machines use
+/// the binary heap ([`System::run_window_heap`]).
+const SCAN_CORES: usize = 8;
+
+/// Low bits of a packed scan key holding the core index (supports
+/// [`SCAN_CORES`] ≤ 16). The time component occupies the remaining 60 bits;
+/// the scan path is only entered while every core clock fits them (2^60
+/// cycles — decades of simulated time), so the packing never wraps.
+const KEY_IDX_BITS: u32 = 4;
+
+/// Smallest and second-smallest of the two keys, branchlessly.
+#[inline]
+fn sort2(a: u64, b: u64) -> (u64, u64) {
+    (a.min(b), a.max(b))
+}
+
+/// Smallest and second-smallest of the four keys, branchlessly: the runner-up
+/// is the smaller of "larger pair-minimum" and "smaller pair-maximum".
+#[inline]
+fn min2_of4(k: &[u64]) -> (u64, u64) {
+    let (a, b) = sort2(k[0], k[1]);
+    let (c, d) = sort2(k[2], k[3]);
+    (a.min(c), a.max(c).min(b.min(d)))
+}
+
+/// Smallest and second-smallest of the eight packed scan keys as a tournament
+/// of `min`/`max` pairs (conditional moves, no data-dependent branches).
+/// Parked slots hold `u64::MAX` and lose every match; live keys are unique
+/// (the low bits carry the core index), so ties only occur among sentinels.
+#[inline]
+fn min_and_runner_up(keys: &[u64; SCAN_CORES]) -> (u64, u64) {
+    let (ma, sa) = min2_of4(&keys[..4]);
+    let (mb, sb) = min2_of4(&keys[4..]);
+    let min = ma.min(mb);
+    let second = if ma < mb { sa.min(mb) } else { sb.min(ma) };
+    (min, second)
+}
+
 /// A source that immediately reports exhaustion (default for cores without
 /// an assigned workload).
 struct EmptySource;
@@ -204,6 +242,107 @@ impl<O: TrafficObserver> System<O> {
     /// orders steps globally by `(start time, core index)`, a run chopped
     /// into windows executes the exact step sequence of an unbounded run.
     fn run_window(&mut self, instructions_per_core: u64, t_end: Cycle) {
+        // Small machines (the paper's 4-core configuration and most tests)
+        // schedule through a branch-light linear scan over packed keys
+        // instead of the binary heap: finding the minimum of ≤ 8 integers
+        // is a handful of conditional moves, where every heap pop/push is a
+        // chain of data-dependent compares and swaps that the branch
+        // predictor loses on. Both paths produce the identical
+        // `(time, core index)` step order.
+        if self.cores.len() <= SCAN_CORES
+            && self
+                .cores
+                .iter()
+                .all(|c| c.now() < Cycle::MAX >> KEY_IDX_BITS)
+        {
+            self.run_window_scan(instructions_per_core, t_end);
+        } else {
+            self.run_window_heap(instructions_per_core, t_end);
+        }
+    }
+
+    /// Linear-scan scheduler for ≤ [`SCAN_CORES`] cores. Each live core's
+    /// next event is packed as `(time << KEY_IDX_BITS) | index` — an
+    /// order-preserving encoding of the `(time, index)` schedule key — and
+    /// retired cores park at `u64::MAX`. One pass computes the minimum and
+    /// the runner-up; the minimum core then streaks until its key passes
+    /// the runner-up, exactly like the heap path.
+    fn run_window_scan(&mut self, instructions_per_core: u64, t_end: Cycle) {
+        let mut keys = [u64::MAX; SCAN_CORES];
+        for (idx, core) in self.cores.iter().enumerate() {
+            if !core.is_exhausted() && core.retired() < instructions_per_core && core.now() < t_end
+            {
+                keys[idx] = (core.now() << KEY_IDX_BITS) | idx as u64;
+            }
+        }
+        let small = self.cores.len() <= 4;
+        let mut due = self.observer.next_prefetch_due();
+        let mut evictions_seen = self.hierarchy.stats().llc_evictions;
+        loop {
+            // Tournament min + runner-up over the fixed key array (parked
+            // slots are `u64::MAX` and lose every match). A tree of
+            // `min`/`max` pairs compiles to conditional moves with ~3 levels
+            // of dependency — the interleaved step order makes the "is this
+            // key the new minimum?" branch inherently unpredictable, and a
+            // branchy scan pays a misprediction on most iterations. Machines
+            // of ≤ 4 cores (the paper configuration) run the half-width
+            // network; the `small` branch itself is loop-invariant and
+            // perfectly predicted.
+            let (min, second) = if small {
+                min2_of4(&keys[..4])
+            } else {
+                min_and_runner_up(&keys)
+            };
+            if min == u64::MAX {
+                return;
+            }
+            let idx = (min & ((1 << KEY_IDX_BITS) - 1)) as usize;
+            // Borrow the streaking core once (field-level split with
+            // `hierarchy`/`observer`): the streak loop then runs without
+            // re-indexing `self.cores` on every step. The first iteration's
+            // clock is recovered from the packed key instead of reloaded.
+            let core = &mut self.cores[idx];
+            let mut now = min >> KEY_IDX_BITS;
+            loop {
+                if now >= t_end {
+                    keys[idx] = u64::MAX;
+                    break;
+                }
+                // The observer's earliest due time only moves when an LLC
+                // eviction schedules a prefetch or a drain consumes one, so
+                // the cached value is refreshed on those events instead of
+                // re-queried every step (`llc_evictions` advances exactly
+                // once per eviction notification).
+                if due.is_some_and(|d| d <= now) {
+                    self.hierarchy.drain_prefetches(now, &mut self.observer);
+                    due = self.observer.next_prefetch_due();
+                    evictions_seen = self.hierarchy.stats().llc_evictions;
+                }
+                if !core.step(&mut self.hierarchy, &mut self.observer) {
+                    keys[idx] = u64::MAX;
+                    break;
+                }
+                let evictions = self.hierarchy.stats().llc_evictions;
+                if evictions != evictions_seen {
+                    evictions_seen = evictions;
+                    due = self.observer.next_prefetch_due();
+                }
+                if core.retired() >= instructions_per_core {
+                    keys[idx] = u64::MAX;
+                    break;
+                }
+                now = core.now();
+                let key = (now << KEY_IDX_BITS) | idx as u64;
+                if key >= second {
+                    keys[idx] = key;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Binary-heap scheduler (any core count).
+    fn run_window_heap(&mut self, instructions_per_core: u64, t_end: Cycle) {
         self.schedule.clear();
         for (idx, core) in self.cores.iter().enumerate() {
             if !core.is_exhausted() && core.retired() < instructions_per_core && core.now() < t_end
@@ -212,6 +351,15 @@ impl<O: TrafficObserver> System<O> {
             }
         }
         while let Some(Reverse((_, idx))) = self.schedule.pop() {
+            // Warm the host cache for the set the popped core is about to
+            // probe (read-only hint; cores pre-draw accesses in batches, so
+            // the next address is usually already known). Issued once per
+            // heap pop, not per step — the hint pays for the cold resume
+            // after other cores ran, while consecutive steps of one core
+            // keep the host cache warm on their own.
+            if let Some(addr) = self.cores[idx].peek_addr() {
+                self.hierarchy.prefetch_hint(CoreId(idx), addr);
+            }
             // Step the popped core for as long as it stays the globally
             // earliest `(time, index)` event, draining due prefetches at the
             // core's clock before each step (exactly the schedule the linear

@@ -141,7 +141,7 @@ proptest! {
     fn metadata_round_trips_through_eviction(ways in 1usize..4, dirty in any::<bool>()) {
         let geometry = CacheGeometry { sets: 1, ways, latency: 1 };
         let mut cache = Cache::new(geometry, Replacement::Lru);
-        let meta = LineMeta { dirty, protected: true, ..LineMeta::default() };
+        let meta = LineMeta::default().with_dirty(dirty).with_protected(true);
         cache.fill(LineAddr(0), meta);
         // Fill the set until line 0 is evicted.
         let mut evicted_meta = None;
@@ -153,7 +153,7 @@ proptest! {
             }
         }
         let got = evicted_meta.expect("line 0 must eventually be evicted");
-        prop_assert_eq!(got.dirty, dirty);
-        prop_assert!(got.protected);
+        prop_assert_eq!(got.dirty(), dirty);
+        prop_assert!(got.protected());
     }
 }

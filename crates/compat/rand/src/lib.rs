@@ -126,6 +126,89 @@ pub trait Rng: RngCore {
 
 impl<R: RngCore> Rng for R {}
 
+/// Distributions with precomputed sampling state (subset of upstream
+/// `rand::distributions`).
+pub mod distributions {
+    use super::RngCore;
+
+    /// A uniform integer distribution with a precomputed Barrett reciprocal.
+    ///
+    /// Sampling draws **exactly** `start + rng.next_u64() % span` — the same
+    /// value, from the same single RNG draw, as [`Rng::gen_range`] over the
+    /// equivalent range — but replaces the hardware 64-bit division with two
+    /// multiplies and a conditional subtract. Hot generators that draw from
+    /// a fixed range every access precompute the distribution once instead
+    /// of paying the division per draw.
+    ///
+    /// [`Rng::gen_range`]: super::Rng::gen_range
+    #[derive(Debug, Clone, Copy)]
+    pub struct Uniform {
+        start: u64,
+        /// Range width; `0` encodes the full-width `start..=start + u64::MAX`
+        /// degenerate range (every draw is returned as-is).
+        span: u64,
+        /// `floor(2^64 / span)` (unused for spans 0 and 1).
+        magic: u64,
+    }
+
+    impl Uniform {
+        /// Distribution over `start..end` (half-open).
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        #[must_use]
+        pub fn new(start: u64, end: u64) -> Self {
+            assert!(start < end, "empty range in Uniform::new");
+            Self::with_span(start, end - start)
+        }
+
+        /// Distribution over `start..=end` (inclusive).
+        ///
+        /// # Panics
+        ///
+        /// Panics if the range is empty.
+        #[must_use]
+        pub fn new_inclusive(start: u64, end: u64) -> Self {
+            assert!(start <= end, "empty range in Uniform::new_inclusive");
+            Self::with_span(start, (end - start).wrapping_add(1))
+        }
+
+        fn with_span(start: u64, span: u64) -> Self {
+            let magic = if span >= 2 {
+                ((1u128 << 64) / u128::from(span)) as u64
+            } else {
+                0
+            };
+            Self { start, span, magic }
+        }
+
+        /// Draws one value (consumes one `next_u64`, like `gen_range`).
+        #[inline]
+        pub fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u64 {
+            let x = rng.next_u64();
+            let rem = match self.span {
+                0 => return self.start.wrapping_add(x),
+                1 => 0,
+                span => {
+                    // Barrett reduction with `magic = floor(2^64 / span)`:
+                    // the estimated quotient is `floor(x / span)` or one
+                    // less, so one conditional subtract makes the remainder
+                    // exact for every `x`.
+                    let q = ((u128::from(x) * u128::from(self.magic)) >> 64) as u64;
+                    let mut rem = x - q * span;
+                    if rem >= span {
+                        rem -= span;
+                    }
+                    debug_assert_eq!(rem, x % span);
+                    rem
+                }
+            };
+            self.start + rem
+        }
+    }
+}
+
 /// Named generators (upstream's `rand::rngs`).
 pub mod rngs {
     use super::{RngCore, SeedableRng};
@@ -190,6 +273,34 @@ mod tests {
         }
         let mut c = StdRng::seed_from_u64(8);
         assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn uniform_matches_gen_range_stream() {
+        use super::distributions::Uniform;
+        // Spans around powers of two, primes, 1, and the full-width
+        // degenerate inclusive range: the precomputed distribution must
+        // reproduce `gen_range`'s draws bit-for-bit from the same stream.
+        for span in [1u64, 2, 3, 7, 8, 1000, 4096, 1 << 22, (1 << 62) + 3] {
+            let mut a = StdRng::seed_from_u64(span);
+            let mut b = StdRng::seed_from_u64(span);
+            let half = Uniform::new(5, 5 + span);
+            let incl = Uniform::new_inclusive(5, 5 + span);
+            for _ in 0..200 {
+                assert_eq!(half.sample(&mut a), b.gen_range(5..5 + span), "span {span}");
+                assert_eq!(
+                    incl.sample(&mut a),
+                    b.gen_range(5..=5 + span),
+                    "span {span}"
+                );
+            }
+        }
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let full = Uniform::new_inclusive(0, u64::MAX);
+        for _ in 0..100 {
+            assert_eq!(full.sample(&mut a), b.gen_range(0..=u64::MAX));
+        }
     }
 
     #[test]

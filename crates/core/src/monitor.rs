@@ -154,6 +154,12 @@ impl PiPoMonitor {
 }
 
 impl TrafficObserver for PiPoMonitor {
+    // Observer events fire on memory fetches and LLC evictions — a few
+    // percent of accesses — but their inlined bodies (cuckoo query, queue
+    // maintenance) would bloat every monitored instantiation of the
+    // simulation hot loop. Keeping them out of line costs one call on the
+    // rare path and keeps the per-access path compact.
+    #[inline(never)]
     fn on_memory_fetch(&mut self, line: LineAddr, _now: Cycle) -> bool {
         self.stats.fetches_observed += 1;
         let outcome = self.filter.query(line.0);
@@ -163,6 +169,7 @@ impl TrafficObserver for PiPoMonitor {
         outcome.captured
     }
 
+    #[inline(never)]
     fn on_llc_eviction(&mut self, line: LineAddr, protected: bool, accessed: bool, now: Cycle) {
         if !protected {
             return;
