@@ -3,7 +3,8 @@
 //! Every binary accepts the same surface:
 //!
 //! ```text
-//! <binary> [scale] [--json PATH] [--sequential | --threads N] [--shards N] [--help]
+//! <binary> [scale] [--json PATH] [--sequential | --threads N] [--shards N]
+//!          [--filter BACKEND] [--help]
 //! ```
 //!
 //! * `scale` — one optional unsigned integer whose meaning is per-binary
@@ -22,26 +23,36 @@
 //!   up to `T × S` worker threads runnable, so pair `--shards` with an
 //!   explicit `--threads`/`--sequential` cell budget when the product would
 //!   oversubscribe the host.
+//! * `--filter BACKEND` — pattern-store backend for the simulated monitors
+//!   (`auto`, `classic`, `bloom` or `xor`; default `auto`, the paper's
+//!   hardware design). Binaries that do not build monitors — or that sweep
+//!   backends themselves, like `ablation_filter` — reject the flag.
 //! * `--help` / `-h` — print the full flag list and exit 0.
 //!
 //! Unknown flags and unparsable values are reported on stderr and exit with
 //! status 2 — they are never silently swallowed into a default.
 
+use auto_cuckoo::FilterBackend;
+
 use crate::sweep::ExecMode;
 
 /// Usage string printed alongside argument errors and by `--help`.
 pub const USAGE: &str = "\
-usage: <binary> [scale] [--json PATH] [--sequential | --threads N] [--shards N] [--help]
+usage: <binary> [scale] [--json PATH] [--sequential | --threads N] [--shards N]
+                [--filter auto|classic|bloom|xor] [--help]
 
-  scale         optional unsigned integer; per-binary meaning (instructions
-                per core, probe windows, trials, insertions, ...)
-  --json PATH   additionally write machine-readable results to PATH
-  --sequential  evaluate sweep cells one at a time
-  --threads N   evaluate sweep cells on N worker threads
-                (default: one per host core)
-  --shards N    epoch-parallel sharding inside each simulated system
-                (System::run_sharded; bit-identical to unsharded runs)
-  --help, -h    print this help and exit";
+  scale             optional unsigned integer; per-binary meaning
+                    (instructions per core, probe windows, trials,
+                    insertions, ...)
+  --json PATH       additionally write machine-readable results to PATH
+  --sequential      evaluate sweep cells one at a time
+  --threads N       evaluate sweep cells on N worker threads
+                    (default: one per host core)
+  --shards N        epoch-parallel sharding inside each simulated system
+                    (System::run_sharded; bit-identical to unsharded runs)
+  --filter BACKEND  pattern-store backend for the simulated monitors:
+                    auto (paper default), classic, bloom or xor
+  --help, -h        print this help and exit";
 
 /// Parsed harness arguments.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,6 +66,10 @@ pub struct HarnessArgs {
     /// Epoch-parallel shards inside each simulated system (`--shards N`);
     /// `None` leaves every system on the plain sequential engine.
     pub shards: Option<usize>,
+    /// Pattern-store backend for monitors (`--filter BACKEND`); `None`
+    /// leaves the [`MonitorConfig`](pipomonitor::MonitorConfig) default
+    /// (`auto`) in place.
+    pub filter: Option<FilterBackend>,
 }
 
 impl HarnessArgs {
@@ -90,6 +105,7 @@ impl HarnessArgs {
             json: None,
             mode: ExecMode::host_default(),
             shards: None,
+            filter: None,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -117,6 +133,12 @@ impl HarnessArgs {
                         return Err("--shards expects a positive integer, got 0".into());
                     }
                     out.shards = Some(shards);
+                }
+                "--filter" => {
+                    let raw = it.next().ok_or("--filter needs a backend name")?;
+                    out.filter = Some(raw.parse().map_err(|_| {
+                        format!("--filter expects one of auto, classic, bloom, xor; got {raw:?}")
+                    })?);
                 }
                 flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
                 positional => {
@@ -163,6 +185,27 @@ impl HarnessArgs {
             eprintln!("{USAGE}");
             std::process::exit(2);
         }
+    }
+
+    /// For binaries that do not build monitors (or sweep the backends
+    /// themselves): rejects `--filter` (exit 2) instead of silently ignoring
+    /// it. Mirrors [`expect_no_shards`](Self::expect_no_shards): the message
+    /// leads with the offending flag.
+    pub fn expect_no_filter(&self) {
+        if let Some(backend) = self.filter {
+            eprintln!(
+                "error: unsupported flag `--filter {backend}`: this binary does not \
+                 take a pattern-store backend selection"
+            );
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+
+    /// The `--filter` backend, defaulting to the paper's `auto` design.
+    #[must_use]
+    pub fn filter_backend(&self) -> FilterBackend {
+        self.filter.unwrap_or(FilterBackend::Auto)
     }
 
     /// The `--shards` value as a shard count, `1` (sequential) when absent.
@@ -223,9 +266,39 @@ mod tests {
 
     #[test]
     fn usage_enumerates_every_flag() {
-        for flag in ["--json", "--sequential", "--threads", "--shards", "--help"] {
+        for flag in [
+            "--json",
+            "--sequential",
+            "--threads",
+            "--shards",
+            "--filter",
+            "--help",
+        ] {
             assert!(USAGE.contains(flag), "usage text must mention {flag}");
         }
+        for backend in FilterBackend::ALL {
+            assert!(
+                USAGE.contains(backend.name()),
+                "usage text must enumerate backend {backend}"
+            );
+        }
+    }
+
+    #[test]
+    fn filter_flag_parses_every_backend() {
+        assert_eq!(parse(&[]).expect("valid").filter, None);
+        assert_eq!(
+            parse(&[]).expect("valid").filter_backend(),
+            FilterBackend::Auto
+        );
+        for backend in FilterBackend::ALL {
+            let args = parse(&["--filter", backend.name()]).expect("valid");
+            assert_eq!(args.filter, Some(backend));
+            assert_eq!(args.filter_backend(), backend);
+        }
+        assert!(parse(&["--filter"]).unwrap_err().contains("backend name"));
+        let err = parse(&["--filter", "ribbon"]).unwrap_err();
+        assert!(err.contains("ribbon") && err.contains("auto"), "{err}");
     }
 
     #[test]

@@ -30,12 +30,13 @@ fn main() {
     let args = HarnessArgs::parse();
     args.expect_no_shards();
     let windows = args.scale_or(150) as usize;
+    let backend = args.filter_backend();
     let config = AttackConfig {
         iterations: windows,
         ..AttackConfig::paper_default()
     };
     println!(
-        "prefetch-delay ablation — {} probe windows, interval 5000 cycles",
+        "prefetch-delay ablation — {} probe windows, interval 5000 cycles, {backend} backend",
         windows
     );
     println!(
@@ -50,7 +51,9 @@ fn main() {
             windows * config.bits_per_window,
             SEED,
         );
-        let monitor_config = MonitorConfig::paper_default().with_prefetch_delay(delay);
+        let monitor_config = MonitorConfig::paper_default()
+            .with_prefetch_delay(delay)
+            .with_backend(backend);
         let mut monitor = PiPoMonitor::new(monitor_config).expect("valid configuration");
         let outcome = PrimeProbeAttack::new(config).run(&mut hierarchy, victim, &mut monitor);
         let observed = outcome
@@ -89,6 +92,7 @@ fn main() {
         .collect();
     let meta = Json::object()
         .field("probe_windows", windows)
+        .field("filter_backend", backend.name())
         .field("seed", SEED);
     emit_json(
         args.json.as_deref(),

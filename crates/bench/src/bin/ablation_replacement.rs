@@ -12,6 +12,7 @@
 //! Run: `cargo run --release -p pipo-bench --bin ablation_replacement -- \
 //!       [instructions] [--json PATH] [--sequential | --threads N]`
 
+use auto_cuckoo::FilterBackend;
 use cache_sim::{Hierarchy, NullObserver, Replacement, SystemConfig};
 use pipo_attacks::{AttackConfig, PrimeProbeAttack, SquareAndMultiply, VictimLayout};
 use pipo_bench::{emit_json, run_cells, sweep_document, HarnessArgs, Json, MixCell, Sweep};
@@ -20,7 +21,7 @@ use pipomonitor::{MonitorConfig, PiPoMonitor};
 
 const SEED: u64 = 42;
 
-fn attack_under(replacement: Replacement) -> (f64, f64) {
+fn attack_under(replacement: Replacement, backend: FilterBackend) -> (f64, f64) {
     let config = AttackConfig {
         iterations: 100,
         ..AttackConfig::paper_default()
@@ -40,7 +41,8 @@ fn attack_under(replacement: Replacement) -> (f64, f64) {
         .recover_key();
 
     let mut hierarchy = Hierarchy::new(cfg);
-    let mut monitor = PiPoMonitor::new(MonitorConfig::paper_default()).expect("valid");
+    let mut monitor =
+        PiPoMonitor::new(MonitorConfig::paper_default().with_backend(backend)).expect("valid");
     let defended = PrimeProbeAttack::new(config)
         .run(&mut hierarchy, victim, &mut monitor)
         .trace
@@ -50,13 +52,16 @@ fn attack_under(replacement: Replacement) -> (f64, f64) {
 
 fn main() {
     let args = HarnessArgs::parse();
+    let backend = args.filter_backend();
     let policies = [
         ("lru", Replacement::Lru),
         ("tree-plru", Replacement::TreePlru),
         ("random", Replacement::Random { seed: 5 }),
     ];
 
-    let attack_results = run_cells(args.mode, &policies, |_, &(_, policy)| attack_under(policy));
+    let attack_results = run_cells(args.mode, &policies, |_, &(_, policy)| {
+        attack_under(policy, backend)
+    });
 
     println!("replacement ablation — attack channel distinguishability");
     println!("{:>10} {:>14} {:>14}", "policy", "baseline", "with monitor");
@@ -76,7 +81,7 @@ fn main() {
             MixCell::new(
                 format!("{name}/mix1"),
                 all_mixes()[0],
-                MonitorConfig::paper_default(),
+                MonitorConfig::paper_default().with_backend(backend),
                 instructions,
                 SEED,
             )
@@ -106,6 +111,7 @@ fn main() {
         .collect();
     let meta = Json::object()
         .field("instructions_per_core", instructions)
+        .field("filter_backend", backend.name())
         .field("seed", SEED);
     emit_json(
         args.json.as_deref(),

@@ -33,6 +33,7 @@ struct StorageRow {
 fn main() {
     let args = HarnessArgs::parse();
     args.expect_no_shards();
+    args.expect_no_filter();
     args.expect_no_scale();
     let storage = storage_rows();
     print_storage(&storage);

@@ -43,6 +43,7 @@ fn occupancy_curve(mnk: u32, checkpoints: &[u64]) -> Vec<f64> {
 fn main() {
     let args = HarnessArgs::parse();
     args.expect_no_shards();
+    args.expect_no_filter();
     args.expect_no_scale();
     let checkpoints: Vec<u64> = (1..=16).map(|k| k * 1000).collect();
 

@@ -31,6 +31,7 @@ struct CollisionResult {
 fn main() {
     let args = HarnessArgs::parse();
     args.expect_no_shards();
+    args.expect_no_filter();
     let insertions = args.scale_or(6_000_000);
 
     println!(

@@ -30,6 +30,7 @@ fn main() {
     let args = HarnessArgs::parse();
     args.expect_no_shards();
     let windows = args.scale_or(100) as usize;
+    let backend = args.filter_backend();
     let config = AttackConfig {
         iterations: windows,
         ..AttackConfig::paper_default()
@@ -47,7 +48,8 @@ fn main() {
             (attack.run(&mut hierarchy, victim, &mut baseline), None)
         } else {
             let mut monitor =
-                PiPoMonitor::new(MonitorConfig::paper_default()).expect("valid configuration");
+                PiPoMonitor::new(MonitorConfig::paper_default().with_backend(backend))
+                    .expect("valid configuration");
             let outcome = attack.run(&mut hierarchy, victim, &mut monitor);
             (outcome, Some(*monitor.stats()))
         };
@@ -100,6 +102,7 @@ fn main() {
         .collect();
     let meta = Json::object()
         .field("probe_windows", windows)
+        .field("filter_backend", backend.name())
         .field("seed", SEED);
     emit_json(
         args.json.as_deref(),

@@ -78,6 +78,7 @@ fn run_cell(cell: &Cell) -> CellResult {
 fn main() {
     let args = HarnessArgs::parse();
     args.expect_no_shards();
+    args.expect_no_filter();
     let trials = args.scale_or(30) as usize;
     // Per-trial brute-force cost is geometric with mean b*l, so the sample
     // mean needs a few dozen trials to stabilise.

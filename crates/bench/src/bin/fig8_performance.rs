@@ -28,16 +28,19 @@ const SEED: u64 = 42;
 fn main() {
     let args = HarnessArgs::parse();
     let instructions = args.instructions();
+    let backend = args.filter_backend();
     let sizes = fig8_filter_sizes();
     let mixes = all_mixes();
     println!(
-        "Fig. 8 — {} instructions per core, filter sizes {:?}",
+        "Fig. 8 — {} instructions per core, filter sizes {:?}, {backend} backend",
         instructions, sizes
     );
 
     let mut sweep = Sweep::new();
     for &(l, b) in &sizes {
-        let config = MonitorConfig::paper_default().with_filter(filter_with_size(l, b));
+        let config = MonitorConfig::paper_default()
+            .with_filter(filter_with_size(l, b))
+            .with_backend(backend);
         for mix in &mixes {
             sweep.push(MixCell::new(
                 format!("{l}x{b}/{}", mix.name),
@@ -109,6 +112,7 @@ fn main() {
         .collect();
     let meta = Json::object()
         .field("instructions_per_core", instructions)
+        .field("filter_backend", backend.name())
         .field("seed", SEED);
     emit_json(
         args.json.as_deref(),

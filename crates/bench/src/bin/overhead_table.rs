@@ -21,6 +21,7 @@ use pipomonitor::OverheadReport;
 fn main() {
     let args = HarnessArgs::parse();
     args.expect_no_shards();
+    args.expect_no_filter();
     args.expect_no_scale();
     let llc_bytes: u64 = 4 << 20;
     println!("§VII-D — PiPoMonitor hardware overhead against a 4 MB LLC");

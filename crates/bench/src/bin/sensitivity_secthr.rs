@@ -21,8 +21,11 @@ const THRESHOLDS: [u8; 3] = [1, 2, 3];
 fn main() {
     let args = HarnessArgs::parse();
     let instructions = args.instructions();
+    let backend = args.filter_backend();
     let mixes = all_mixes();
-    println!("§VII-C — secThr sensitivity, {instructions} instructions per core");
+    println!(
+        "§VII-C — secThr sensitivity, {instructions} instructions per core, {backend} backend"
+    );
     println!(
         "{:>7} {:>12} {:>12} {:>12}   {:>12} {:>12} {:>12}",
         "mix",
@@ -44,7 +47,9 @@ fn main() {
             sweep.push(MixCell::new(
                 format!("thr{thr}/{}", mix.name),
                 *mix,
-                MonitorConfig::paper_default().with_filter(filter),
+                MonitorConfig::paper_default()
+                    .with_filter(filter)
+                    .with_backend(backend),
                 instructions,
                 SEED,
             ));
@@ -94,6 +99,7 @@ fn main() {
         .collect();
     let meta = Json::object()
         .field("instructions_per_core", instructions)
+        .field("filter_backend", backend.name())
         .field("seed", SEED);
     emit_json(
         args.json.as_deref(),

@@ -1,6 +1,8 @@
 //! CLI contract tests for the harness binaries: which ones accept
-//! `--shards` (their cells run whole simulated systems) and which reject it
-//! with exit status 2 and an error that names the offending flag.
+//! `--shards` (their cells run whole simulated systems) and `--filter`
+//! (they build pattern-store-backed monitors with a selectable backend),
+//! and which reject them with exit status 2 and an error that names the
+//! offending flag.
 //!
 //! Cargo exposes each binary's path to this integration test through the
 //! `CARGO_BIN_EXE_<name>` environment variables, so these tests exercise
@@ -33,12 +35,39 @@ const ACCEPTS_SHARDS: &[(&str, &[&str])] = &[
 /// attack trials, analytical tables): `--shards` must be rejected.
 const REJECTS_SHARDS: &[&str] = &[
     "ablation_delay",
+    "ablation_filter",
     "baseline_stateful",
     "fig3_occupancy",
     "fig4_collisions",
     "fig6_attack",
     "fig7_reverse",
     "overhead_table",
+];
+
+/// Binaries that build monitors with a selectable pattern-store backend:
+/// `--filter BACKEND` selects it. Each entry carries arguments that keep the
+/// run tiny.
+const ACCEPTS_FILTER: &[(&str, &[&str])] = &[
+    ("fig8_performance", &["1", "--sequential"]),
+    ("sensitivity_secthr", &["1", "--sequential"]),
+    ("ablation_replacement", &["1", "--sequential"]),
+    ("ablation_delay", &["1", "--sequential"]),
+    ("fig6_attack", &["1", "--sequential"]),
+];
+
+/// Binaries with no backend choice: filter microbenchmarks drive the cuckoo
+/// structures directly, `baseline_stateful`/`throughput` pin the paper's
+/// monitor for comparability, and `ablation_filter` sweeps every backend by
+/// construction. All must reject `--filter` by name with exit 2
+/// (`throughput` through its own parser's unknown-flag path).
+const REJECTS_FILTER: &[&str] = &[
+    "ablation_filter",
+    "baseline_stateful",
+    "fig3_occupancy",
+    "fig4_collisions",
+    "fig7_reverse",
+    "overhead_table",
+    "throughput",
 ];
 
 fn bin_path(name: &str) -> String {
@@ -127,6 +156,85 @@ fn every_binary_helps_and_exits_zero() {
         assert!(
             stdout.contains("--shards"),
             "{name} --help must document --shards"
+        );
+        // `throughput` documents its own flag surface; every shared-parser
+        // binary's help must enumerate --filter and its backends.
+        if name != "throughput" {
+            assert!(
+                stdout.contains("--filter"),
+                "{name} --help must document --filter"
+            );
+            for backend in ["auto", "classic", "bloom", "xor"] {
+                assert!(
+                    stdout.contains(backend),
+                    "{name} --help must enumerate the {backend} backend"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn filter_accepting_binaries_run_with_a_backend() {
+    for (name, scale_args) in ACCEPTS_FILTER {
+        let output = Command::new(bin_path(name))
+            .args(*scale_args)
+            .args(["--filter", "bloom"])
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert_eq!(
+            output.status.code(),
+            Some(0),
+            "{name} must accept --filter bloom (stderr: {stderr})"
+        );
+    }
+}
+
+#[test]
+fn filter_rejecting_binaries_exit_2_and_name_the_flag() {
+    for name in REJECTS_FILTER {
+        let output = Command::new(bin_path(name))
+            .args(["--filter", "bloom"])
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "{name} must exit 2 on --filter"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("--filter"),
+            "{name}'s rejection must name the offending flag, got:\n{stderr}"
+        );
+        assert!(
+            stderr.contains("error:"),
+            "{name}'s rejection must be an error line, got:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn bad_filter_backend_exits_2_and_names_the_value() {
+    for (name, _) in ACCEPTS_FILTER {
+        let output = Command::new(bin_path(name))
+            .args(["--filter", "ribbon"])
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "{name} must exit 2 on a bad backend"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("ribbon"),
+            "{name}'s error must name the bad value, got:\n{stderr}"
+        );
+        assert!(
+            stderr.contains("auto") && stderr.contains("xor"),
+            "{name}'s error must enumerate valid backends, got:\n{stderr}"
         );
     }
 }

@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use auto_cuckoo::{FilterParams, ParamsError};
+use auto_cuckoo::{FilterBackend, FilterParams, ParamsError};
 use cache_sim::Cycle;
 
 /// Error building a [`PiPoMonitor`](crate::PiPoMonitor).
@@ -45,11 +45,16 @@ impl From<ParamsError> for BuildMonitorError {
 /// let cfg = MonitorConfig::paper_default();
 /// assert_eq!(cfg.prefetch_delay, 50);
 /// assert_eq!(cfg.filter.buckets(), 1024);
+/// assert_eq!(cfg.backend, auto_cuckoo::FilterBackend::Auto);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MonitorConfig {
-    /// Auto-Cuckoo filter geometry and policy (`l`, `b`, `f`, MNK, `secThr`).
+    /// Pattern-store geometry and policy (`l`, `b`, `f`, MNK, `secThr`).
     pub filter: FilterParams,
+    /// Which [`PatternStore`](auto_cuckoo::PatternStore) implementation the
+    /// monitor tracks patterns with. [`FilterBackend::Auto`] is the paper's
+    /// hardware design and the default.
+    pub backend: FilterBackend,
     /// Cycles to wait after a `pEvict` before issuing the prefetch, so the
     /// prefetch does not contend with the same line's writeback (paper §IV).
     pub prefetch_delay: Cycle,
@@ -66,6 +71,7 @@ impl MonitorConfig {
     pub fn paper_default() -> Self {
         Self {
             filter: FilterParams::paper_default(),
+            backend: FilterBackend::Auto,
             prefetch_delay: 50,
         }
     }
@@ -74,6 +80,13 @@ impl MonitorConfig {
     #[must_use]
     pub fn with_filter(mut self, filter: FilterParams) -> Self {
         self.filter = filter;
+        self
+    }
+
+    /// Replaces the pattern-store backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: FilterBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -108,8 +121,10 @@ mod tests {
         let filter = FilterParams::builder().buckets(512).build().expect("valid");
         let cfg = MonitorConfig::paper_default()
             .with_filter(filter)
+            .with_backend(FilterBackend::Bloom)
             .with_prefetch_delay(100);
         assert_eq!(cfg.filter.buckets(), 512);
+        assert_eq!(cfg.backend, FilterBackend::Bloom);
         assert_eq!(cfg.prefetch_delay, 100);
     }
 

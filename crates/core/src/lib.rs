@@ -3,7 +3,8 @@
 //!
 //! PiPoMonitor sits in the memory controller and watches LLC↔memory traffic
 //! through the [`cache_sim::TrafficObserver`] hook. Every demand fetch is
-//! recorded in an [`auto_cuckoo::AutoCuckooFilter`]; when a line's re-access
+//! recorded in a pluggable [`auto_cuckoo::PatternStore`] (the paper's
+//! [`auto_cuckoo::AutoCuckooFilter`] by default); when a line's re-access
 //! (`Security`) counter reaches `secThr` it is captured as a **Ping-Pong
 //! line** — the temporal signature of an attacker repeatedly evicting a
 //! victim line and the victim re-fetching it. Captured lines are tagged in

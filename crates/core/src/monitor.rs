@@ -3,7 +3,7 @@
 //! [`cache_sim::TrafficObserver`] so it plugs into the memory controller of
 //! the simulated system.
 
-use auto_cuckoo::AutoCuckooFilter;
+use auto_cuckoo::{build_store, AutoCuckooFilter, PatternStore};
 use cache_sim::{Cycle, LineAddr, TrafficObserver};
 
 use crate::config::{BuildMonitorError, MonitorConfig};
@@ -73,7 +73,7 @@ impl MonitorStats {
 #[derive(Debug)]
 pub struct PiPoMonitor {
     config: MonitorConfig,
-    filter: AutoCuckooFilter,
+    store: Box<dyn PatternStore>,
     queue: PrefetchQueue,
     stats: MonitorStats,
 }
@@ -82,19 +82,21 @@ impl Clone for PiPoMonitor {
     fn clone(&self) -> Self {
         Self {
             config: self.config,
-            filter: self.filter.clone(),
+            store: self.store.clone_box(),
             queue: self.queue.clone(),
             stats: self.stats,
         }
     }
 
-    /// Overwrites `self` with `source` while reusing the filter-table and
+    /// Overwrites `self` with `source` while reusing the pattern-store and
     /// prefetch-queue allocations, so the epoch-parallel engine's
     /// once-per-epoch observer snapshot is a plain copy instead of an
     /// allocation (mirrors `Cache::clone_from` on the LLC snapshots).
+    /// Delegates to [`PatternStore::clone_from_store`], which requires both
+    /// monitors to use the same backend.
     fn clone_from(&mut self, source: &Self) {
         self.config = source.config;
-        self.filter.clone_from(&source.filter);
+        self.store.clone_from_store(source.store.as_ref());
         self.queue.clone_from(&source.queue);
         self.stats = source.stats;
     }
@@ -107,10 +109,10 @@ impl PiPoMonitor {
     ///
     /// Returns [`BuildMonitorError`] when the filter parameters are invalid.
     pub fn new(config: MonitorConfig) -> Result<Self, BuildMonitorError> {
-        let filter = AutoCuckooFilter::new(config.filter)?;
+        let store = build_store(config.backend, config.filter)?;
         Ok(Self {
             queue: PrefetchQueue::new(config.prefetch_delay),
-            filter,
+            store,
             config,
             stats: MonitorStats::default(),
         })
@@ -128,10 +130,26 @@ impl PiPoMonitor {
         &self.stats
     }
 
+    /// The embedded pattern store (read access for experiments), whatever
+    /// backend [`MonitorConfig::backend`] selected.
+    #[must_use]
+    pub fn pattern_store(&self) -> &dyn PatternStore {
+        self.store.as_ref()
+    }
+
     /// The embedded Auto-Cuckoo filter (read access for experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the monitor was built with a non-`auto` backend; use
+    /// [`Self::pattern_store`] for backend-agnostic access.
+    #[deprecated(since = "0.1.0", note = "use `pattern_store()` instead")]
     #[must_use]
     pub fn filter(&self) -> &AutoCuckooFilter {
-        &self.filter
+        self.store
+            .as_any()
+            .downcast_ref::<AutoCuckooFilter>()
+            .expect("PiPoMonitor::filter() requires the `auto` backend")
     }
 
     /// Pending prefetch queue (read access for experiments).
@@ -162,7 +180,7 @@ impl TrafficObserver for PiPoMonitor {
     #[inline(never)]
     fn on_memory_fetch(&mut self, line: LineAddr, _now: Cycle) -> bool {
         self.stats.fetches_observed += 1;
-        let outcome = self.filter.query(line.0);
+        let outcome = self.store.query(line.0);
         if outcome.captured {
             self.stats.captures += 1;
         }
@@ -271,6 +289,57 @@ mod tests {
         }
         assert!((m.false_positives_per_mi(1_000_000) - 1.0).abs() < 1e-9);
         assert_eq!(m.false_positives_per_mi(0), 0.0);
+    }
+
+    #[test]
+    fn every_backend_captures_the_pattern() {
+        for backend in auto_cuckoo::FilterBackend::ALL {
+            let cfg = MonitorConfig::paper_default().with_backend(backend);
+            let mut m = PiPoMonitor::new(cfg).expect("valid config");
+            let line = LineAddr(42);
+            assert!(!m.on_memory_fetch(line, 0), "{backend}: premature capture");
+            assert!(!m.on_memory_fetch(line, 1), "{backend}: premature capture");
+            assert!(!m.on_memory_fetch(line, 2), "{backend}: premature capture");
+            assert!(m.on_memory_fetch(line, 3), "{backend}: missed capture");
+            assert_eq!(m.pattern_store().backend(), backend);
+            assert!(m.pattern_store().contains(42));
+        }
+    }
+
+    #[test]
+    fn clone_from_preserves_backend_state() {
+        for backend in auto_cuckoo::FilterBackend::ALL {
+            let cfg = MonitorConfig::paper_default().with_backend(backend);
+            let mut a = PiPoMonitor::new(cfg).expect("valid config");
+            for i in 0..100u64 {
+                a.on_memory_fetch(LineAddr(i * 3), i);
+            }
+            let mut b = PiPoMonitor::new(cfg).expect("valid config");
+            b.clone_from(&a);
+            assert_eq!(b.stats(), a.stats(), "{backend}: stats diverged");
+            assert_eq!(
+                b.pattern_store().len(),
+                a.pattern_store().len(),
+                "{backend}: store length diverged"
+            );
+        }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_filter_shim_still_works_on_auto() {
+        let mut m = monitor();
+        m.on_memory_fetch(LineAddr(9), 0);
+        assert!(m.filter().contains(9));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    #[should_panic(expected = "requires the `auto` backend")]
+    fn deprecated_filter_shim_panics_on_other_backends() {
+        let cfg = MonitorConfig::paper_default().with_backend(auto_cuckoo::FilterBackend::Bloom);
+        let m = PiPoMonitor::new(cfg).expect("valid config");
+        let _ = m.filter();
     }
 
     /// End-to-end: a line ping-ponging between LLC and memory gets tagged,

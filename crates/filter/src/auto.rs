@@ -12,30 +12,7 @@ use crate::entry::Entry;
 use crate::hash::{alternate_bucket, candidate_buckets, fingerprint_of, DetRng, IndexPair};
 use crate::params::{FilterParams, ParamsError};
 use crate::stats::{CollisionCensus, FilterStats};
-
-/// Result of a single [`AutoCuckooFilter::query`].
-///
-/// `Response` in the paper's terms is the [`security`](Self::security) field;
-/// the monitor treats `security == secThr` (i.e. [`captured`](Self::captured))
-/// as "this line behaves in a Ping-Pong pattern".
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct QueryOutcome {
-    /// `Security` value of the record after this query.
-    pub security: u8,
-    /// Whether the query found no record and inserted a fresh one.
-    pub inserted: bool,
-    /// Whether the query found an existing record (a re-access, or a
-    /// fingerprint collision with another address).
-    pub merged: bool,
-    /// Whether `security` has reached `secThr`: the line is captured as a
-    /// Ping-Pong line.
-    pub captured: bool,
-    /// Number of relocations performed to make room for an insertion.
-    pub kicks: u32,
-    /// Fingerprint removed by autonomic deletion, if the relocation chain hit
-    /// MNK.
-    pub autonomic_deletion: Option<u16>,
-}
+pub use crate::store::QueryOutcome;
 
 /// The Auto-Cuckoo filter (paper Fig. 5).
 ///

@@ -18,6 +18,8 @@ use std::fmt;
 use crate::entry::Entry;
 use crate::hash::{alternate_bucket, candidate_buckets, fingerprint_of, DetRng, IndexPair};
 use crate::params::{FilterParams, ParamsError};
+use crate::stats::FilterStats;
+use crate::store::QueryOutcome;
 
 /// Error returned when a classic insertion exhausts its relocation budget.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -66,13 +68,39 @@ pub enum DeleteOutcome {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ClassicCuckooFilter {
     params: FilterParams,
     table: Vec<Entry>,
     rng: DetRng,
     occupied: usize,
     failed_inserts: u64,
+    stats: FilterStats,
+}
+
+impl Clone for ClassicCuckooFilter {
+    fn clone(&self) -> Self {
+        Self {
+            params: self.params,
+            table: self.table.clone(),
+            rng: self.rng.clone(),
+            occupied: self.occupied,
+            failed_inserts: self.failed_inserts,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Overwrites `self` with `source` while reusing the table allocation
+    /// (same contract as `AutoCuckooFilter::clone_from`; keeps epoch-engine
+    /// monitor snapshots allocation-free when this backend is selected).
+    fn clone_from(&mut self, source: &Self) {
+        self.params = source.params;
+        self.table.clone_from(&source.table);
+        self.rng = source.rng.clone();
+        self.occupied = source.occupied;
+        self.failed_inserts = source.failed_inserts;
+        self.stats = source.stats.clone();
+    }
 }
 
 impl ClassicCuckooFilter {
@@ -88,6 +116,7 @@ impl ClassicCuckooFilter {
             rng: DetRng::new(params.seed()),
             occupied: 0,
             failed_inserts: 0,
+            stats: FilterStats::default(),
             params,
         })
     }
@@ -122,6 +151,86 @@ impl ClassicCuckooFilter {
         self.failed_inserts
     }
 
+    /// Cumulative operation statistics (same surface as
+    /// [`AutoCuckooFilter::stats`](crate::AutoCuckooFilter::stats)).
+    #[must_use]
+    pub fn stats(&self) -> &FilterStats {
+        &self.stats
+    }
+
+    /// Removes every record and resets statistics.
+    pub fn clear(&mut self) {
+        self.table.fill(Entry::vacant());
+        self.occupied = 0;
+        self.failed_inserts = 0;
+        self.stats = FilterStats::default();
+    }
+
+    /// The query-with-promotion operation of the monitor↔store contract:
+    /// increments an existing record's `Security` counter (saturating at
+    /// `secThr`) or inserts a fresh record with `Security = 0`.
+    ///
+    /// Unlike [`AutoCuckooFilter::query`](crate::AutoCuckooFilter::query),
+    /// the insertion half *can fail* when the filter is full: the outcome
+    /// then reports neither `inserted` nor `merged` (the line simply goes
+    /// untracked), and when the failed relocation chain displaced a resident
+    /// record the lost fingerprint is surfaced in `autonomic_deletion` — the
+    /// classic algorithm drops it on the floor.
+    pub fn query(&mut self, item: u64) -> QueryOutcome {
+        self.stats.queries += 1;
+        let fp = fingerprint_of(item, &self.params);
+        let pair = candidate_buckets(item, &self.params);
+        let thr = self.params.security_threshold();
+
+        if let Some(slot) = self.find_match(pair, fp) {
+            let entry = &mut self.table[slot];
+            entry.note_collision();
+            let security = entry.bump_security(thr);
+            self.stats.merges += 1;
+            let captured = security >= thr;
+            if captured {
+                self.stats.captures += 1;
+            }
+            return QueryOutcome {
+                security,
+                inserted: false,
+                merged: true,
+                captured,
+                kicks: 0,
+                autonomic_deletion: None,
+            };
+        }
+
+        match self.insert_at(pair, fp) {
+            Ok(kicks) => QueryOutcome {
+                security: 0,
+                inserted: true,
+                merged: false,
+                captured: false,
+                kicks,
+                autonomic_deletion: None,
+            },
+            Err(e) => QueryOutcome {
+                security: 0,
+                inserted: false,
+                merged: false,
+                captured: false,
+                kicks: e.kicks,
+                // kicks > 0 means a resident record was displaced and lost.
+                autonomic_deletion: (e.kicks > 0).then_some(e.homeless_fingerprint),
+            },
+        }
+    }
+
+    /// Current `Security` value of the item's record, if present.
+    #[must_use]
+    pub fn security_of(&self, item: u64) -> Option<u8> {
+        let fp = fingerprint_of(item, &self.params);
+        let pair = candidate_buckets(item, &self.params);
+        self.find_match(pair, fp)
+            .map(|slot| self.table[slot].security())
+    }
+
     /// Inserts an item.
     ///
     /// # Errors
@@ -133,10 +242,17 @@ impl ClassicCuckooFilter {
     pub fn insert(&mut self, item: u64) -> Result<u32, InsertError> {
         let fp = fingerprint_of(item, &self.params);
         let pair = candidate_buckets(item, &self.params);
+        self.insert_at(pair, fp)
+    }
+
+    /// Insertion core shared by [`insert`](Self::insert) and
+    /// [`query`](Self::query) (which already computed the hashes).
+    fn insert_at(&mut self, pair: IndexPair, fp: u16) -> Result<u32, InsertError> {
         for bucket in [pair.primary, pair.alternate] {
             if let Some(slot) = self.vacant_slot(bucket) {
                 self.table[slot] = Entry::occupied(fp);
                 self.occupied += 1;
+                self.stats.inserts += 1;
                 return Ok(0);
             }
         }
@@ -157,6 +273,8 @@ impl ClassicCuckooFilter {
             if let Some(slot) = self.vacant_slot(bucket) {
                 self.table[slot] = homeless;
                 self.occupied += 1;
+                self.stats.inserts += 1;
+                self.stats.kicks += u64::from(kicks);
                 return Ok(kicks);
             }
         }

@@ -45,18 +45,24 @@
 
 pub mod analysis;
 pub mod auto;
+pub mod bloom;
 pub mod classic;
 pub mod entry;
 pub mod hash;
 pub mod params;
 pub mod stats;
+pub mod store;
+pub mod xor;
 
 pub use analysis::{
     brute_force_expected_fills, false_positive_rate, reverse_eviction_set_size, StorageOverhead,
 };
-pub use auto::{AutoCuckooFilter, QueryOutcome};
+pub use auto::AutoCuckooFilter;
+pub use bloom::BloomPatternStore;
 pub use classic::{ClassicCuckooFilter, DeleteOutcome, InsertError};
 pub use entry::Entry;
 pub use hash::{fingerprint_of, DetRng, IndexPair};
 pub use params::{FilterParams, FilterParamsBuilder, ParamsError};
 pub use stats::{CollisionCensus, FilterStats, OccupancySample};
+pub use store::{build_store, FilterBackend, ParseBackendError, PatternStore, QueryOutcome};
+pub use xor::XorPatternStore;

@@ -53,7 +53,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  filter occupancy        : {:.1}%",
-        system.observer().filter().occupancy() * 100.0
+        system.observer().pattern_store().occupancy() * 100.0
     );
     Ok(())
 }

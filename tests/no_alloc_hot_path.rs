@@ -18,6 +18,7 @@
 use std::alloc::{GlobalAlloc, Layout, System as SystemAlloc};
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use auto_cuckoo::{build_store, FilterBackend, FilterParams};
 use cache_sim::{Access, Addr, CoreId, NullObserver, ShardSpec, System, SystemConfig};
 use pipo_workloads::{benchmark, ProfileSource};
 use pipomonitor::{MonitorConfig, PiPoMonitor};
@@ -227,6 +228,47 @@ fn steady_state_run_allocates_nothing_per_access() {
         "per-run sharded constant too large: {window1} allocations \
          (expected ~4: the SimReport vectors and stats clone)"
     );
+
+    // --- Every PatternStore backend's query path, in isolation ---
+    // The monitored-system sections above run the default (auto) backend;
+    // this pins the stricter store-level contract for the whole zoo: after a
+    // warm-up that reaches steady state (for `xor`, that includes several
+    // live-window freezes, whose peeling runs in scratch preallocated at
+    // construction), a window of queries allocates EXACTLY zero — not a
+    // small constant, zero.
+    for backend in FilterBackend::ALL {
+        let mut store = build_store(backend, FilterParams::paper_default()).expect("valid params");
+        // Mixed traffic: a hot set being promoted plus a distinct-line
+        // stream that keeps inserting (and, per backend, kicking,
+        // autonomically deleting, sharing counters, or rebuilding).
+        let mut query_window = |window: u64| {
+            for i in 0..40_000u64 {
+                let line = if i % 4 == 0 {
+                    i % 64
+                } else {
+                    (window << 32) | (i * 0x9e37_79b9 + 1)
+                };
+                store.query(line);
+            }
+        };
+        query_window(0); // warm-up
+        let before = allocations();
+        query_window(1);
+        let window1 = allocations() - before;
+        query_window(2);
+        let window2 = allocations() - before - window1;
+        assert_eq!(
+            window1, 0,
+            "{backend} backend allocated {window1} times in a steady-state query window"
+        );
+        assert_eq!(
+            window2, 0,
+            "{backend} backend allocated {window2} times in a steady-state query window"
+        );
+        // Sanity: the window really exercised the store.
+        assert!(store.stats_snapshot().queries >= 120_000);
+        assert!(!store.is_empty());
+    }
 
     // Sanity: the runs actually took the parallel path and committed — a
     // permanently rolling-back (sequentially re-executing) run would pass
