@@ -12,6 +12,11 @@
 //! * **Reverse engineering** (§VI-B, Fig. 7): the adversary tries to build a
 //!   deterministic eviction set for one filter record; autonomic deletion
 //!   inflates the needed set to `b^(MNK+1)` addresses.
+//!
+//! Beyond the paper, the scenario library adds an **occupancy-channel
+//! attacker** ([`OccupancyChannelSource`]): a whole-cache occupancy probe
+//! whose repeating over-associativity sweep is the adversarial input to the
+//! `trace_replay` harness.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -20,6 +25,7 @@ pub mod analysis;
 pub mod defense_aware;
 pub mod evict_reload;
 pub mod eviction;
+pub mod occupancy;
 pub mod prime_probe;
 pub mod victim;
 
@@ -30,5 +36,6 @@ pub use defense_aware::{
 };
 pub use evict_reload::{EvictReloadAttack, EvictReloadOutcome};
 pub use eviction::EvictionSet;
+pub use occupancy::OccupancyChannelSource;
 pub use prime_probe::{AttackConfig, AttackOutcome, PrimeProbeAttack};
 pub use victim::{SquareAndMultiply, VictimLayout};

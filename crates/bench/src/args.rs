@@ -27,6 +27,9 @@
 //!   (`auto`, `classic`, `bloom` or `xor`; default `auto`, the paper's
 //!   hardware design). Binaries that do not build monitors — or that sweep
 //!   backends themselves, like `ablation_filter` — reject the flag.
+//! * `--trace PATH` — replay a recorded `pipo-trace` file (v1 text or v2
+//!   binary, sniffed by magic) as an extra workload. Only `trace_replay`
+//!   consumes recorded traces; every other binary rejects the flag.
 //! * `--help` / `-h` — print the full flag list and exit 0.
 //!
 //! Unknown flags and unparsable values are reported on stderr and exit with
@@ -39,7 +42,7 @@ use crate::sweep::ExecMode;
 /// Usage string printed alongside argument errors and by `--help`.
 pub const USAGE: &str = "\
 usage: <binary> [scale] [--json PATH] [--sequential | --threads N] [--shards N]
-                [--filter auto|classic|bloom|xor] [--help]
+                [--filter auto|classic|bloom|xor] [--trace PATH] [--help]
 
   scale             optional unsigned integer; per-binary meaning
                     (instructions per core, probe windows, trials,
@@ -52,6 +55,8 @@ usage: <binary> [scale] [--json PATH] [--sequential | --threads N] [--shards N]
                     (System::run_sharded; bit-identical to unsharded runs)
   --filter BACKEND  pattern-store backend for the simulated monitors:
                     auto (paper default), classic, bloom or xor
+  --trace PATH      replay a recorded pipo-trace file (v1 text or v2
+                    binary); only trace_replay consumes recorded traces
   --help, -h        print this help and exit";
 
 /// Parsed harness arguments.
@@ -70,6 +75,9 @@ pub struct HarnessArgs {
     /// leaves the [`MonitorConfig`](pipomonitor::MonitorConfig) default
     /// (`auto`) in place.
     pub filter: Option<FilterBackend>,
+    /// Path to a recorded trace file to replay (`--trace PATH`); only
+    /// `trace_replay` consumes it, every other binary rejects the flag.
+    pub trace: Option<String>,
 }
 
 impl HarnessArgs {
@@ -106,6 +114,7 @@ impl HarnessArgs {
             mode: ExecMode::host_default(),
             shards: None,
             filter: None,
+            trace: None,
         };
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -139,6 +148,9 @@ impl HarnessArgs {
                     out.filter = Some(raw.parse().map_err(|_| {
                         format!("--filter expects one of auto, classic, bloom, xor; got {raw:?}")
                     })?);
+                }
+                "--trace" => {
+                    out.trace = Some(it.next().ok_or("--trace needs a file path")?);
                 }
                 flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
                 positional => {
@@ -196,6 +208,21 @@ impl HarnessArgs {
             eprintln!(
                 "error: unsupported flag `--filter {backend}`: this binary does not \
                  take a pattern-store backend selection"
+            );
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+
+    /// For binaries that do not replay recorded traces: rejects `--trace`
+    /// (exit 2) instead of silently ignoring it. Mirrors
+    /// [`expect_no_shards`](Self::expect_no_shards): the message leads with
+    /// the offending flag.
+    pub fn expect_no_trace(&self) {
+        if let Some(path) = &self.trace {
+            eprintln!(
+                "error: unsupported flag `--trace {path}`: this binary does not \
+                 replay recorded traces (use the trace_replay binary)"
             );
             eprintln!("{USAGE}");
             std::process::exit(2);
@@ -272,6 +299,7 @@ mod tests {
             "--threads",
             "--shards",
             "--filter",
+            "--trace",
             "--help",
         ] {
             assert!(USAGE.contains(flag), "usage text must mention {flag}");
@@ -299,6 +327,14 @@ mod tests {
         assert!(parse(&["--filter"]).unwrap_err().contains("backend name"));
         let err = parse(&["--filter", "ribbon"]).unwrap_err();
         assert!(err.contains("ribbon") && err.contains("auto"), "{err}");
+    }
+
+    #[test]
+    fn trace_flag_parses_a_path() {
+        assert_eq!(parse(&[]).expect("valid").trace, None);
+        let args = parse(&["--trace", "traces/occupancy_sweep.trace2"]).expect("valid");
+        assert_eq!(args.trace.as_deref(), Some("traces/occupancy_sweep.trace2"));
+        assert!(parse(&["--trace"]).unwrap_err().contains("file path"));
     }
 
     #[test]

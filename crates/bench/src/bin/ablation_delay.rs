@@ -29,6 +29,7 @@ struct DelayResult {
 fn main() {
     let args = HarnessArgs::parse();
     args.expect_no_shards();
+    args.expect_no_trace();
     let windows = args.scale_or(150) as usize;
     let backend = args.filter_backend();
     let config = AttackConfig {

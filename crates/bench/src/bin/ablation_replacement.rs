@@ -52,6 +52,7 @@ fn attack_under(replacement: Replacement, backend: FilterBackend) -> (f64, f64) 
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.expect_no_trace();
     let backend = args.filter_backend();
     let policies = [
         ("lru", Replacement::Lru),

@@ -35,6 +35,7 @@ fn main() {
     args.expect_no_shards();
     args.expect_no_filter();
     args.expect_no_scale();
+    args.expect_no_trace();
     let storage = storage_rows();
     print_storage(&storage);
     println!();

@@ -32,6 +32,7 @@ fn main() {
     let args = HarnessArgs::parse();
     args.expect_no_shards();
     args.expect_no_filter();
+    args.expect_no_trace();
     let insertions = args.scale_or(6_000_000);
 
     println!(

@@ -79,6 +79,7 @@ fn main() {
     let args = HarnessArgs::parse();
     args.expect_no_shards();
     args.expect_no_filter();
+    args.expect_no_trace();
     let trials = args.scale_or(30) as usize;
     // Per-trial brute-force cost is geometric with mean b*l, so the sample
     // mean needs a few dozen trials to stabilise.

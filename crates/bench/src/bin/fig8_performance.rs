@@ -27,6 +27,7 @@ const SEED: u64 = 42;
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.expect_no_trace();
     let instructions = args.instructions();
     let backend = args.filter_backend();
     let sizes = fig8_filter_sizes();

@@ -20,6 +20,7 @@ const THRESHOLDS: [u8; 3] = [1, 2, 3];
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.expect_no_trace();
     let instructions = args.instructions();
     let backend = args.filter_backend();
     let mixes = all_mixes();

@@ -1,8 +1,8 @@
 //! CLI contract tests for the harness binaries: which ones accept
-//! `--shards` (their cells run whole simulated systems) and `--filter`
+//! `--shards` (their cells run whole simulated systems), `--filter`
 //! (they build pattern-store-backed monitors with a selectable backend),
-//! and which reject them with exit status 2 and an error that names the
-//! offending flag.
+//! and `--trace` (they replay recorded trace files), and which reject
+//! them with exit status 2 and an error that names the offending flag.
 //!
 //! Cargo exposes each binary's path to this integration test through the
 //! `CARGO_BIN_EXE_<name>` environment variables, so these tests exercise
@@ -19,6 +19,7 @@ const ACCEPTS_SHARDS: &[(&str, &[&str])] = &[
     ("fig8_performance", &["1", "--sequential"]),
     ("sensitivity_secthr", &["1", "--sequential"]),
     ("ablation_replacement", &["1", "--sequential"]),
+    ("trace_replay", &["1", "--sequential"]),
     (
         "throughput",
         &[
@@ -53,6 +54,25 @@ const ACCEPTS_FILTER: &[(&str, &[&str])] = &[
     ("ablation_replacement", &["1", "--sequential"]),
     ("ablation_delay", &["1", "--sequential"]),
     ("fig6_attack", &["1", "--sequential"]),
+    ("trace_replay", &["1", "--sequential"]),
+];
+
+/// Only `trace_replay` consumes recorded trace files; every other binary —
+/// shared parser or not — must reject `--trace` by name with exit 2
+/// (`throughput` through its own parser's unknown-flag path).
+const REJECTS_TRACE: &[&str] = &[
+    "ablation_delay",
+    "ablation_filter",
+    "ablation_replacement",
+    "baseline_stateful",
+    "fig3_occupancy",
+    "fig4_collisions",
+    "fig6_attack",
+    "fig7_reverse",
+    "fig8_performance",
+    "overhead_table",
+    "sensitivity_secthr",
+    "throughput",
 ];
 
 /// Binaries with no backend choice: filter microbenchmarks drive the cuckoo
@@ -164,6 +184,10 @@ fn every_binary_helps_and_exits_zero() {
                 stdout.contains("--filter"),
                 "{name} --help must document --filter"
             );
+            assert!(
+                stdout.contains("--trace"),
+                "{name} --help must document --trace"
+            );
             for backend in ["auto", "classic", "bloom", "xor"] {
                 assert!(
                     stdout.contains(backend),
@@ -237,4 +261,101 @@ fn bad_filter_backend_exits_2_and_names_the_value() {
             "{name}'s error must enumerate valid backends, got:\n{stderr}"
         );
     }
+}
+
+#[test]
+fn trace_rejecting_binaries_exit_2_and_name_the_flag() {
+    for name in REJECTS_TRACE {
+        let output = Command::new(bin_path(name))
+            .args(["--trace", "some.trace"])
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "{name} must exit 2 on --trace"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("--trace"),
+            "{name}'s rejection must name the offending flag, got:\n{stderr}"
+        );
+        assert!(
+            stderr.contains("error:"),
+            "{name}'s rejection must be an error line, got:\n{stderr}"
+        );
+    }
+}
+
+/// The bundled corpus file of the given name (the corpus lives in the
+/// workloads crate, next door to this one).
+fn corpus_trace(name: &str) -> String {
+    let path = format!("{}/../workloads/traces/{name}", env!("CARGO_MANIFEST_DIR"));
+    assert!(
+        std::path::Path::new(&path).exists(),
+        "bundled corpus file missing: {path}"
+    );
+    path
+}
+
+#[test]
+fn trace_replay_accepts_both_corpus_formats() {
+    // One v1 text trace (the back-compat file) and one v2 binary trace.
+    for trace in [
+        corpus_trace("stride_l1.trace"),
+        corpus_trace("mix_gcc_prefix.trace2"),
+    ] {
+        let output = Command::new(bin_path("trace_replay"))
+            .args(["1", "--sequential", "--trace", &trace])
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn trace_replay: {e}"));
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert_eq!(
+            output.status.code(),
+            Some(0),
+            "trace_replay must accept --trace {trace} (stderr: {stderr})"
+        );
+        let stdout = String::from_utf8_lossy(&output.stdout);
+        assert!(
+            stdout.contains(&trace),
+            "the replayed trace must appear as a figure row, got:\n{stdout}"
+        );
+    }
+}
+
+#[test]
+fn trace_replay_rejects_a_missing_or_corrupt_trace() {
+    let output = Command::new(bin_path("trace_replay"))
+        .args(["1", "--trace", "/nonexistent/nope.trace"])
+        .output()
+        .expect("spawn trace_replay");
+    assert_eq!(
+        output.status.code(),
+        Some(2),
+        "missing trace file must exit 2"
+    );
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("/nonexistent/nope.trace"),
+        "error must name the path, got:\n{stderr}"
+    );
+
+    // A file that is neither v2 binary nor parsable v1 text.
+    let corrupt = format!(
+        "{}/cli_corrupt_{}.trace",
+        std::env::temp_dir().display(),
+        std::process::id()
+    );
+    std::fs::write(&corrupt, "X 0xZZ not-a-trace\n").expect("write temp file");
+    let output = Command::new(bin_path("trace_replay"))
+        .args(["1", "--trace", &corrupt])
+        .output()
+        .expect("spawn trace_replay");
+    std::fs::remove_file(&corrupt).ok();
+    assert_eq!(output.status.code(), Some(2), "corrupt trace must exit 2");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("error:") && stderr.contains(".trace"),
+        "corrupt-trace error must be reported, got:\n{stderr}"
+    );
 }

@@ -37,13 +37,20 @@
 pub mod generator;
 pub mod mixes;
 pub mod profile;
+pub mod scenarios;
 pub mod spec;
 pub mod synthetic;
 pub mod trace;
+pub mod trace_v2;
 
 pub use generator::ProfileSource;
 pub use mixes::{all_mixes, Mix};
 pub use profile::BenchProfile;
+pub use scenarios::{BurstySource, NoisyNeighborSource};
 pub use spec::{benchmark, benchmark_names};
 pub use synthetic::{PointerChaseSource, StrideSource, UniformRandomSource};
 pub use trace::{ParseTraceError, Trace, TraceReplay};
+pub use trace_v2::{
+    decode_trace, encode_trace, is_v2, load_trace, DecodeTraceError, LoadTraceError, V2Replay,
+    V2Writer, TRACE_V2_MAGIC,
+};

@@ -1,25 +1,37 @@
-//! Records a workload source into a `pipo-trace v1` file.
+//! Records a workload source into a `pipo-trace` file — v2 binary when the
+//! output path ends in `.trace2`, v1 text otherwise.
 //!
 //! This is the tool that generated the bundled corpus under
 //! `crates/workloads/traces/`; rerun it to regenerate or extend the corpus:
 //!
 //! ```sh
 //! cargo run --release --example record_trace -- stride 256 out.trace
-//! cargo run --release --example record_trace -- pointer_chase 256 out.trace
-//! cargo run --release --example record_trace -- profile:gcc 400 out.trace
+//! cargo run --release --example record_trace -- pointer_chase 2048 out.trace2
+//! cargo run --release --example record_trace -- profile:gcc 2000 out.trace2
+//! cargo run --release --example record_trace -- occupancy 2048 out.trace2
+//! cargo run --release --example record_trace -- noisy_neighbor 2048 out.trace2
+//! cargo run --release --example record_trace -- bursty 2048 out.trace2
 //! ```
 //!
-//! Sources are seeded deterministically (seed 42, core 0), so the same
-//! invocation always produces the same trace.
+//! Sources are seeded deterministically (seed 42, core 0; scenario sources
+//! use the parameters of the `trace_replay` harness), so the same
+//! invocation always produces the same trace, byte for byte.
 
-use pipo_workloads::{benchmark, PointerChaseSource, ProfileSource, StrideSource, Trace};
+use pipo_attacks::OccupancyChannelSource;
+use pipo_workloads::{
+    benchmark, BurstySource, NoisyNeighborSource, PointerChaseSource, ProfileSource, StrideSource,
+    Trace,
+};
 
 const SEED: u64 = 42;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let [source_name, count, path] = &args[..] else {
-        eprintln!("usage: record_trace <stride|pointer_chase|profile:NAME> <count> <out.trace>");
+        eprintln!(
+            "usage: record_trace <stride|pointer_chase|occupancy|noisy_neighbor|bursty|profile:NAME> \
+             <count> <out.trace|out.trace2>"
+        );
         std::process::exit(2);
     };
     let count: usize = count.parse().unwrap_or_else(|_| {
@@ -32,6 +44,24 @@ fn main() {
         "pointer_chase" => {
             Trace::record(&mut PointerChaseSource::new(1 << 20, 4096, 5, SEED), count)
         }
+        // The scenario-library sources, with the trace_replay harness's
+        // parameters (paper LLC geometry: 4096 sets, 16 ways).
+        "occupancy" => Trace::record(
+            &mut OccupancyChannelSource::new(48 << 36, 4096, 16, 64, 2),
+            count,
+        ),
+        "noisy_neighbor" => {
+            let tenants = [
+                benchmark("mcf").expect("known"),
+                benchmark("gcc").expect("known"),
+                benchmark("libquantum").expect("known"),
+            ];
+            Trace::record(&mut NoisyNeighborSource::new(&tenants, 16, 32, 2126), count)
+        }
+        "bursty" => Trace::record(
+            &mut BurstySource::new(40 << 36, 1 << 16, 32, 4_000, 1, 2126),
+            count,
+        ),
         name => {
             let Some(bench) = name.strip_prefix("profile:").and_then(benchmark) else {
                 eprintln!("error: unknown source {name:?}");
@@ -41,17 +71,26 @@ fn main() {
         }
     };
 
-    let mut text =
-        format!("# pipo-trace v1\n# source: {source_name} (seed {SEED}), {count} accesses\n");
-    text.push_str(
-        trace
-            .to_text()
-            .strip_prefix("# pipo-trace v1\n")
-            .expect("serialiser writes the header"),
-    );
-    std::fs::write(path, text).unwrap_or_else(|e| {
+    let bytes = if path.ends_with(".trace2") {
+        trace.to_v2()
+    } else {
+        let mut text =
+            format!("# pipo-trace v1\n# source: {source_name} (seed {SEED}), {count} accesses\n");
+        text.push_str(
+            trace
+                .to_text()
+                .strip_prefix("# pipo-trace v1\n")
+                .expect("serialiser writes the header"),
+        );
+        text.into_bytes()
+    };
+    std::fs::write(path, &bytes).unwrap_or_else(|e| {
         eprintln!("error: cannot write {path}: {e}");
         std::process::exit(1);
     });
-    println!("recorded {} accesses to {path}", trace.len());
+    println!(
+        "recorded {} accesses to {path} ({} bytes)",
+        trace.len(),
+        bytes.len()
+    );
 }

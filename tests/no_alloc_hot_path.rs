@@ -20,7 +20,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use auto_cuckoo::{build_store, FilterBackend, FilterParams};
 use cache_sim::{Access, Addr, CoreId, NullObserver, ShardSpec, System, SystemConfig};
-use pipo_workloads::{benchmark, ProfileSource};
+use pipo_workloads::{benchmark, ProfileSource, Trace, V2Replay};
 use pipomonitor::{MonitorConfig, PiPoMonitor};
 
 struct CountingAlloc;
@@ -170,6 +170,45 @@ fn steady_state_run_allocates_nothing_per_access() {
     assert!(
         window1 <= 8,
         "per-run batched constant too large: {window1}"
+    );
+
+    // --- v2 streaming trace replay ---
+    // `V2Replay` decodes one frame at a time into scratch buffers sized to
+    // their maximum during the construction-time validation pass, so
+    // steady-state replay — varint decoding, delta reconstruction, and the
+    // batched refill into the core's buffer — must allocate nothing.
+    let mut trace = Trace::new();
+    for i in 0..40_000u64 {
+        let access = if i % 5 == 0 {
+            Access::write(Addr((i % 512) * 64))
+        } else {
+            Access::read(Addr(((i * 67) % 4096) * 64))
+        };
+        trace.push(access.after(2));
+    }
+    let bytes = trace.to_v2();
+    let mut system = System::new(SystemConfig::paper_default(), NullObserver);
+    system.set_source(
+        CoreId(0),
+        Box::new(V2Replay::new(&bytes[..]).expect("own encoding decodes")),
+    );
+    // Cumulative windows stay well inside the trace (40k accesses at 3
+    // retired instructions each outlast 120k instructions).
+    system.run(20_000);
+
+    let before = allocations();
+    system.run(40_000);
+    let window1 = allocations() - before;
+    system.run(60_000);
+    let window2 = allocations() - before - window1;
+
+    assert_eq!(
+        window1, window2,
+        "v2 streaming-replay windows must have identical allocation counts"
+    );
+    assert!(
+        window1 <= 8,
+        "per-run v2 replay constant too large: {window1}"
     );
 
     // --- Epoch-parallel sharded system ---

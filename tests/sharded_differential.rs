@@ -14,10 +14,13 @@
 //! The vendored proptest shim is deterministic (fixed per-case seeds, no
 //! shrinking), so any failure here reproduces exactly.
 
+use std::sync::Arc;
+
 use cache_sim::{
     Access, AccessSource, Addr, CoreId, NullObserver, ShardSpec, SimReport, System, SystemConfig,
     TrafficObserver,
 };
+use pipo_workloads::{Trace, V2Replay};
 use pipomonitor::{MonitorConfig, PiPoMonitor};
 use proptest::prelude::*;
 
@@ -200,5 +203,45 @@ proptest! {
             sharded_system.observer().stats(),
             "monitor stats diverged"
         );
+    }
+
+    /// Trace-replayed workloads: each core's generated stream is recorded
+    /// into a v2 binary trace and replayed through the streaming `V2Replay`
+    /// decoder — the path the `trace_replay` harness takes with `--shards`.
+    /// Sharded must equal sequential bit for bit even when every access
+    /// comes out of the frame decoder instead of a live generator.
+    #[test]
+    fn trace_replayed_workloads_are_bit_identical(
+        params in arb_params(),
+        cores in 1usize..=4,
+        shards in 1usize..=4,
+        epoch_cycles in 200u64..20_000,
+    ) {
+        let instructions = 5_000;
+        // Each access retires at least one instruction, so recording
+        // `instructions` accesses guarantees the replay outlasts the run.
+        let traces: Vec<Arc<[u8]>> = (0..cores)
+            .map(|core| {
+                let trace = Trace::record(
+                    source_for(core, params).as_mut(),
+                    instructions as usize,
+                );
+                Arc::from(trace.to_v2().into_boxed_slice())
+            })
+            .collect();
+        let run_traced = |run: &dyn Fn(&mut System<NullObserver>) -> SimReport| {
+            let mut config = SystemConfig::small_test();
+            config.cores = cores;
+            let mut system = System::new(config, NullObserver);
+            for (core, bytes) in traces.iter().enumerate() {
+                let replay = V2Replay::new(Arc::clone(bytes)).expect("own encoding decodes");
+                system.set_source(CoreId(core), Box::new(replay));
+            }
+            fingerprint(&run(&mut system))
+        };
+        let seq = run_traced(&|s| s.run(instructions));
+        let spec = ShardSpec::new(shards).with_epoch_cycles(epoch_cycles);
+        let sharded = run_traced(&|s| s.run_sharded(instructions, spec));
+        prop_assert_eq!(&seq, &sharded, "cores={} shards={} epoch={}", cores, shards, epoch_cycles);
     }
 }

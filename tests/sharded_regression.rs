@@ -11,7 +11,7 @@
 //! [`System::epoch_telemetry`]).
 
 use cache_sim::{Access, Addr, CoreId, NullObserver, ShardSpec, SimReport, System, SystemConfig};
-use pipo_workloads::{all_mixes, ProfileSource, Trace};
+use pipo_workloads::{all_mixes, load_trace, ProfileSource};
 use pipomonitor::{MonitorConfig, MonitorStats, PiPoMonitor};
 
 mod common;
@@ -148,8 +148,8 @@ fn bundled_traces_sharded_matches_sequential() {
     names.sort();
     assert!(!names.is_empty(), "trace corpus must not be empty");
     for path in names {
-        let text = std::fs::read_to_string(&path).expect("trace is readable");
-        let trace: Trace = text.parse().expect("trace parses");
+        let bytes = std::fs::read(&path).expect("trace is readable");
+        let trace = load_trace(&bytes).expect("trace loads (v1 text or v2 binary)");
         let run = |sharded: Option<ShardSpec>| {
             let mut system = System::new(SystemConfig::paper_default(), NullObserver);
             for core in 0..4 {

@@ -1,9 +1,16 @@
 //! Validates that the simulated workloads exhibit the memory behaviour the
 //! calibration targets: the SPEC MPKI ordering, write fractions, and stable
-//! statistics under re-simulation.
+//! statistics under re-simulation — and that the adversarial scenario
+//! sources (`OccupancyChannelSource`, `NoisyNeighborSource`,
+//! `BurstySource`) replay deterministically and honour the batched-refill
+//! contract when driven through a whole simulated system.
 
-use cache_sim::{CoreId, NullObserver, System, SystemConfig};
-use pipo_workloads::{benchmark, ProfileSource};
+use cache_sim::{AccessSource, CoreId, NullObserver, System, SystemConfig};
+use pipo_attacks::OccupancyChannelSource;
+use pipo_workloads::{benchmark, BurstySource, NoisyNeighborSource, ProfileSource, Trace};
+
+mod common;
+use common::fingerprint;
 
 /// Measured LLC misses per kilo-instruction of one benchmark running alone.
 fn measured_mpki(name: &str, instructions: u64) -> f64 {
@@ -90,4 +97,88 @@ fn four_core_contention_increases_misses() {
         shared_misses > alone_misses,
         "LLC contention must add misses: alone {alone_misses}, shared {shared_misses}"
     );
+}
+
+/// The adversarial scenario sources, built with the `trace_replay`
+/// harness's parameters (paper LLC geometry: 4096 sets, 16 ways). Each
+/// call returns a fresh, identically seeded instance.
+fn scenario_source(name: &str) -> Box<dyn AccessSource + Send> {
+    match name {
+        "occupancy_channel" => Box::new(OccupancyChannelSource::new(48 << 36, 4096, 16, 64, 2)),
+        "noisy_neighbor" => {
+            let tenants = [
+                benchmark("mcf").expect("known"),
+                benchmark("gcc").expect("known"),
+                benchmark("libquantum").expect("known"),
+            ];
+            Box::new(NoisyNeighborSource::new(&tenants, 16, 32, 2126))
+        }
+        "bursty" => Box::new(BurstySource::new(40 << 36, 1 << 16, 32, 4_000, 1, 2126)),
+        other => panic!("unknown scenario {other}"),
+    }
+}
+
+const SCENARIOS: &[&str] = &["occupancy_channel", "noisy_neighbor", "bursty"];
+
+#[test]
+fn scenario_replay_is_deterministic() {
+    // Two independently built instances of each scenario must drive the
+    // simulator to bit-identical reports (the property the differential
+    // trace_replay figure relies on).
+    let n = 60_000;
+    for name in SCENARIOS {
+        let run = || {
+            let mut system = System::new(SystemConfig::paper_default(), NullObserver);
+            system.set_source(CoreId(0), scenario_source(name));
+            fingerprint(&system.run(n))
+        };
+        assert_eq!(run(), run(), "{name} must replay identically");
+    }
+}
+
+#[test]
+fn scenario_batched_refill_matches_recorded_stream() {
+    // Cores pull 64-entry batches through `refill`; `Trace::record` pulls
+    // one access at a time through `next_access`. The prefix-identity
+    // contract says both must observe the same stream, so a system driven
+    // live must be bit-identical to one driven by the recorded trace.
+    let n = 60_000;
+    for name in SCENARIOS {
+        let mut live = System::new(SystemConfig::paper_default(), NullObserver);
+        live.set_source(CoreId(0), scenario_source(name));
+        let live_report = live.run(n);
+
+        // Record at least as many accesses as the live run consumed (one
+        // instruction per access) so the replay never runs dry early.
+        let trace = Trace::record(scenario_source(name).as_mut(), n as usize);
+        let mut replayed = System::new(SystemConfig::paper_default(), NullObserver);
+        replayed.set_source(CoreId(0), Box::new(trace.replay()));
+        let replayed_report = replayed.run(n);
+
+        assert_eq!(
+            fingerprint(&live_report),
+            fingerprint(&replayed_report),
+            "{name}: batched refill diverged from the recorded stream"
+        );
+    }
+}
+
+#[test]
+fn occupancy_sweep_is_memory_bound_beyond_any_benchmark() {
+    // The occupancy-channel attacker walks ways+1 lines in each probed set,
+    // so steady state misses everywhere; its MPKI must dwarf even mcf's.
+    let n = 120_000;
+    let mut system = System::new(SystemConfig::paper_default(), NullObserver);
+    system.set_source(CoreId(0), scenario_source("occupancy_channel"));
+    let report = system.run(n);
+    let stats = report.stats.core(CoreId(0));
+    let mpki = stats.memory_fetches as f64 * 1000.0 / report.instructions[0] as f64;
+    // Each access retires 3 instructions (1 memory + 2 think cycles), so a
+    // 100% miss rate is 333 MPKI — require at least 95% of that ceiling.
+    assert!(
+        mpki > 1000.0 / 3.0 * 0.95,
+        "the sweep must miss nearly every access, got {mpki:.1} MPKI"
+    );
+    let mcf = measured_mpki("mcf", n);
+    assert!(mpki > mcf * 5.0, "sweep {mpki:.1} vs mcf {mcf:.1} MPKI");
 }
