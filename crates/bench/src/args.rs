@@ -30,33 +30,47 @@
 //! * `--trace PATH` — replay a recorded `pipo-trace` file (v1 text or v2
 //!   binary, sniffed by magic) as an extra workload. Only `trace_replay`
 //!   consumes recorded traces; every other binary rejects the flag.
+//! * `--store PATH` — answer sweep cells from (and record new cells into)
+//!   the persistent content-addressed result store at `PATH` — the same
+//!   store a `pipo-serve` instance serves. Only the `System::run` sweep
+//!   figures (`fig8_performance`, `sensitivity_secthr`,
+//!   `ablation_replacement`) have store-keyed cells; the rest reject the
+//!   flag.
 //! * `--help` / `-h` — print the full flag list and exit 0.
 //!
 //! Unknown flags and unparsable values are reported on stderr and exit with
-//! status 2 — they are never silently swallowed into a default.
+//! status 2 — they are never silently swallowed into a default. So are
+//! *conflicting* flags: `--sequential` with `--threads N` (in either order)
+//! is rejected instead of silently letting the last one win.
 
 use auto_cuckoo::FilterBackend;
 
+use crate::store::ResultStore;
 use crate::sweep::ExecMode;
 
 /// Usage string printed alongside argument errors and by `--help`.
 pub const USAGE: &str = "\
 usage: <binary> [scale] [--json PATH] [--sequential | --threads N] [--shards N]
-                [--filter auto|classic|bloom|xor] [--trace PATH] [--help]
+                [--filter auto|classic|bloom|xor] [--trace PATH]
+                [--store PATH] [--help]
 
   scale             optional unsigned integer; per-binary meaning
                     (instructions per core, probe windows, trials,
                     insertions, ...)
   --json PATH       additionally write machine-readable results to PATH
   --sequential      evaluate sweep cells one at a time
+                    (conflicts with --threads)
   --threads N       evaluate sweep cells on N worker threads
-                    (default: one per host core)
+                    (default: one per host core; conflicts with --sequential)
   --shards N        epoch-parallel sharding inside each simulated system
                     (System::run_sharded; bit-identical to unsharded runs)
   --filter BACKEND  pattern-store backend for the simulated monitors:
                     auto (paper default), classic, bloom or xor
   --trace PATH      replay a recorded pipo-trace file (v1 text or v2
                     binary); only trace_replay consumes recorded traces
+  --store PATH      persistent content-addressed result store: warm sweep
+                    cells are answered from it, cold cells recorded into it
+                    (only the System::run sweep figures accept it)
   --help, -h        print this help and exit";
 
 /// Parsed harness arguments.
@@ -78,6 +92,10 @@ pub struct HarnessArgs {
     /// Path to a recorded trace file to replay (`--trace PATH`); only
     /// `trace_replay` consumes it, every other binary rejects the flag.
     pub trace: Option<String>,
+    /// Path to the persistent result store (`--store PATH`); only the
+    /// `System::run` sweep figures consume it, every other binary rejects
+    /// the flag.
+    pub store: Option<String>,
 }
 
 impl HarnessArgs {
@@ -115,14 +133,23 @@ impl HarnessArgs {
             shards: None,
             filter: None,
             trace: None,
+            store: None,
         };
+        // Execution-mode flags seen so far, for conflict detection: the
+        // combination `--sequential --threads N` (either order) must be an
+        // error naming both flags, never a silent last-one-wins.
+        let mut saw_sequential = false;
+        let mut saw_threads: Option<usize> = None;
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
                 "--json" => {
                     out.json = Some(it.next().ok_or("--json needs a file path")?);
                 }
-                "--sequential" => out.mode = ExecMode::Sequential,
+                "--sequential" => {
+                    saw_sequential = true;
+                    out.mode = ExecMode::Sequential;
+                }
                 "--threads" => {
                     let raw = it.next().ok_or("--threads needs a thread count")?;
                     let threads: usize = raw.parse().map_err(|_| {
@@ -131,6 +158,7 @@ impl HarnessArgs {
                     if threads == 0 {
                         return Err("--threads expects a positive integer, got 0".into());
                     }
+                    saw_threads = Some(threads);
                     out.mode = ExecMode::with_threads(threads);
                 }
                 "--shards" => {
@@ -152,6 +180,9 @@ impl HarnessArgs {
                 "--trace" => {
                     out.trace = Some(it.next().ok_or("--trace needs a file path")?);
                 }
+                "--store" => {
+                    out.store = Some(it.next().ok_or("--store needs a file path")?);
+                }
                 flag if flag.starts_with('-') => return Err(format!("unknown flag {flag:?}")),
                 positional => {
                     if out.scale.is_some() {
@@ -161,6 +192,14 @@ impl HarnessArgs {
                         format!("unparsable scale argument {positional:?} (expected an unsigned integer)")
                     })?);
                 }
+            }
+        }
+        if saw_sequential {
+            if let Some(threads) = saw_threads {
+                return Err(format!(
+                    "conflicting execution-mode flags: --sequential and --threads {threads} \
+                     cannot be combined (pick one)"
+                ));
             }
         }
         Ok(out)
@@ -229,6 +268,37 @@ impl HarnessArgs {
         }
     }
 
+    /// For binaries whose cells are not store-keyed (no `System::run` sweep
+    /// grid): rejects `--store` (exit 2) instead of silently ignoring it.
+    /// Mirrors [`expect_no_shards`](Self::expect_no_shards): the message
+    /// leads with the offending flag.
+    pub fn expect_no_store(&self) {
+        if let Some(path) = &self.store {
+            eprintln!(
+                "error: unsupported flag `--store {path}`: this binary has no \
+                 store-keyed sweep cells (use fig8_performance, \
+                 sensitivity_secthr or ablation_replacement)"
+            );
+            eprintln!("{USAGE}");
+            std::process::exit(2);
+        }
+    }
+
+    /// Opens the `--store` result store, exiting 1 with a diagnostic when
+    /// the file exists but cannot be read or is not a store. `None` when
+    /// the flag was absent.
+    #[must_use]
+    pub fn open_store(&self) -> Option<ResultStore> {
+        let path = self.store.as_deref()?;
+        match ResultStore::open(path) {
+            Ok(store) => Some(store),
+            Err(e) => {
+                eprintln!("error: cannot open result store {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
     /// The `--filter` backend, defaulting to the paper's `auto` design.
     #[must_use]
     pub fn filter_backend(&self) -> FilterBackend {
@@ -292,6 +362,43 @@ mod tests {
     }
 
     #[test]
+    fn conflicting_execution_modes_are_rejected_in_both_orders() {
+        for args in [
+            &["--sequential", "--threads", "4"][..],
+            &["--threads", "4", "--sequential"][..],
+            &["--threads", "4", "--json", "x.json", "--sequential"][..],
+        ] {
+            let err = parse(args).unwrap_err();
+            assert!(
+                err.contains("--sequential") && err.contains("--threads"),
+                "conflict message must name both flags: {err}"
+            );
+        }
+        // Repeating one mode flag stays allowed (idempotent / last wins).
+        assert_eq!(
+            parse(&["--sequential", "--sequential"])
+                .expect("valid")
+                .mode,
+            ExecMode::Sequential
+        );
+        assert_eq!(
+            parse(&["--threads", "2", "--threads", "3"])
+                .expect("valid")
+                .mode
+                .threads(),
+            3
+        );
+    }
+
+    #[test]
+    fn store_flag_parses_a_path() {
+        assert_eq!(parse(&[]).expect("valid").store, None);
+        let args = parse(&["--store", "/tmp/results.store"]).expect("valid");
+        assert_eq!(args.store.as_deref(), Some("/tmp/results.store"));
+        assert!(parse(&["--store"]).unwrap_err().contains("file path"));
+    }
+
+    #[test]
     fn usage_enumerates_every_flag() {
         for flag in [
             "--json",
@@ -300,6 +407,7 @@ mod tests {
             "--shards",
             "--filter",
             "--trace",
+            "--store",
             "--help",
         ] {
             assert!(USAGE.contains(flag), "usage text must mention {flag}");

@@ -30,6 +30,7 @@ fn main() {
     let args = HarnessArgs::parse();
     args.expect_no_shards();
     args.expect_no_trace();
+    args.expect_no_store();
     let windows = args.scale_or(150) as usize;
     let backend = args.filter_backend();
     let config = AttackConfig {

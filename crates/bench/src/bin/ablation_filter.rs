@@ -178,6 +178,7 @@ fn main() {
     args.expect_no_shards();
     args.expect_no_filter();
     args.expect_no_trace();
+    args.expect_no_store();
     let tracked_lines = args.scale_or(DEFAULT_TRACKED).max(1024);
     let params = production_params(tracked_lines);
     let accesses = tracked_lines * ACCESSES_PER_LINE;

@@ -10,12 +10,15 @@
 //! the sweep engine.
 //!
 //! Run: `cargo run --release -p pipo-bench --bin ablation_replacement -- \
-//!       [instructions] [--json PATH] [--sequential | --threads N]`
+//!       [instructions] [--json PATH] [--sequential | --threads N] \
+//!       [--store PATH]`
 
 use auto_cuckoo::FilterBackend;
 use cache_sim::{Hierarchy, NullObserver, Replacement, SystemConfig};
 use pipo_attacks::{AttackConfig, PrimeProbeAttack, SquareAndMultiply, VictimLayout};
-use pipo_bench::{emit_json, run_cells, sweep_document, HarnessArgs, Json, MixCell, Sweep};
+use pipo_bench::{
+    emit_json, finish_store, run_cells, sweep_document, HarnessArgs, Json, MixCell, Sweep,
+};
 use pipo_workloads::all_mixes;
 use pipomonitor::{MonitorConfig, PiPoMonitor};
 
@@ -89,8 +92,13 @@ fn main() {
             .on_system(cfg),
         );
     }
+    // Only the mix sweep is store-keyed; the attack cells above always run
+    // (they are not `System::run` cells and have no canonical key).
     let sweep = sweep.with_shards(args.shards_or_sequential());
-    let mix_runs = sweep.run(args.mode);
+    let mut store = args.open_store();
+    let started = std::time::Instant::now();
+    let (mix_runs, outcome) = sweep.run_with_store(args.mode, store.as_mut());
+    finish_store(store.as_mut(), outcome, started.elapsed());
     for ((name, _), run) in policies.iter().zip(&mix_runs) {
         println!(
             "{name:>10} {:>10.1} {:>12.4}",

@@ -36,6 +36,7 @@ fn main() {
     args.expect_no_filter();
     args.expect_no_scale();
     args.expect_no_trace();
+    args.expect_no_store();
     let storage = storage_rows();
     print_storage(&storage);
     println!();

@@ -46,6 +46,7 @@ fn main() {
     args.expect_no_filter();
     args.expect_no_scale();
     args.expect_no_trace();
+    args.expect_no_store();
     let checkpoints: Vec<u64> = (1..=16).map(|k| k * 1000).collect();
 
     println!("Fig. 3 — Auto-Cuckoo filter occupancy vs insertions (l=1024, b=8, f=12)");

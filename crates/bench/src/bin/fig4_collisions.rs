@@ -33,6 +33,7 @@ fn main() {
     args.expect_no_shards();
     args.expect_no_filter();
     args.expect_no_trace();
+    args.expect_no_store();
     let insertions = args.scale_or(6_000_000);
 
     println!(

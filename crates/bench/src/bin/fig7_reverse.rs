@@ -80,6 +80,7 @@ fn main() {
     args.expect_no_shards();
     args.expect_no_filter();
     args.expect_no_trace();
+    args.expect_no_store();
     let trials = args.scale_or(30) as usize;
     // Per-trial brute-force cost is geometric with mean b*l, so the sample
     // mean needs a few dozen trials to stabilise.

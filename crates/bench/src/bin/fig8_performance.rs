@@ -14,11 +14,16 @@
 //! re-simulated for every size as the old sequential loop did.
 //!
 //! Run: `cargo run --release -p pipo-bench --bin fig8_performance -- \
-//!       [instructions_per_core] [--json PATH] [--sequential | --threads N]`
+//!       [instructions_per_core] [--json PATH] [--sequential | --threads N] \
+//!       [--store PATH]`
+//!
+//! With `--store PATH` the grid is answered from (and recorded into) the
+//! persistent result store: a repeat run with identical parameters serves
+//! every cell warm and produces a byte-identical `--json` document.
 
 use pipo_bench::{
-    emit_json, fig8_filter_sizes, filter_with_size, sweep_document, HarnessArgs, Json, MixCell,
-    MixRun, Sweep,
+    emit_json, fig8_filter_sizes, filter_with_size, finish_store, sweep_document, HarnessArgs,
+    Json, MixCell, MixRun, Sweep,
 };
 use pipo_workloads::all_mixes;
 use pipomonitor::MonitorConfig;
@@ -53,7 +58,10 @@ fn main() {
         }
     }
     let sweep = sweep.with_shards(args.shards_or_sequential());
-    let runs = sweep.run(args.mode);
+    let mut store = args.open_store();
+    let started = std::time::Instant::now();
+    let (runs, outcome) = sweep.run_with_store(args.mode, store.as_mut());
+    finish_store(store.as_mut(), outcome, started.elapsed());
     // results[size][mix], matching the cell grid above.
     let results: Vec<&[MixRun]> = runs.chunks(mixes.len()).collect();
 

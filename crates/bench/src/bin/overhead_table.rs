@@ -24,6 +24,7 @@ fn main() {
     args.expect_no_filter();
     args.expect_no_scale();
     args.expect_no_trace();
+    args.expect_no_store();
     let llc_bytes: u64 = 4 << 20;
     println!("§VII-D — PiPoMonitor hardware overhead against a 4 MB LLC");
     println!(

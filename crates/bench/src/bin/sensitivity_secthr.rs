@@ -8,10 +8,11 @@
 //! parallel, one memoized baseline per mix across the three thresholds).
 //!
 //! Run: `cargo run --release -p pipo-bench --bin sensitivity_secthr -- \
-//!       [instructions_per_core] [--json PATH] [--sequential | --threads N]`
+//!       [instructions_per_core] [--json PATH] [--sequential | --threads N] \
+//!       [--store PATH]`
 
 use auto_cuckoo::FilterParams;
-use pipo_bench::{emit_json, sweep_document, HarnessArgs, Json, MixCell, Sweep};
+use pipo_bench::{emit_json, finish_store, sweep_document, HarnessArgs, Json, MixCell, Sweep};
 use pipo_workloads::all_mixes;
 use pipomonitor::MonitorConfig;
 
@@ -57,7 +58,10 @@ fn main() {
         }
     }
     let sweep = sweep.with_shards(args.shards_or_sequential());
-    let runs = sweep.run(args.mode);
+    let mut store = args.open_store();
+    let started = std::time::Instant::now();
+    let (runs, outcome) = sweep.run_with_store(args.mode, store.as_mut());
+    finish_store(store.as_mut(), outcome, started.elapsed());
 
     let mut sums = [0.0f64; 3];
     for (mix, thr_runs) in mixes.iter().zip(runs.chunks(THRESHOLDS.len())) {

@@ -660,7 +660,8 @@ fn main() {
     }
     let json = doc.to_pretty();
 
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    pipo_bench::write_atomic(&out_path, json.as_bytes())
+        .unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
     println!("{json}");
     for m in &runs {
         eprintln!(

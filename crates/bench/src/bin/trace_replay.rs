@@ -342,6 +342,7 @@ fn load_workloads(trace_path: Option<&str>) -> Vec<Workload> {
 
 fn main() {
     let args = HarnessArgs::parse();
+    args.expect_no_store();
     let instructions = args.instructions();
     let backend = args.filter_backend();
     let shards = args.shards_or_sequential();

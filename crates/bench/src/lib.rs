@@ -14,6 +14,8 @@
 
 pub mod args;
 pub mod json;
+pub mod serve;
+pub mod store;
 pub mod sweep;
 
 use auto_cuckoo::FilterParams;
@@ -22,8 +24,9 @@ use pipo_workloads::{Mix, ProfileSource};
 use pipomonitor::{MonitorConfig, MonitorStats, PiPoMonitor};
 
 pub use args::HarnessArgs;
-pub use json::{emit_json, sweep_document, Json};
-pub use sweep::{run_cells, ExecMode, MixCell, Sweep};
+pub use json::{emit_json, sweep_document, write_atomic, Json};
+pub use store::{finish_store, mix_cell_key, ResultStore, StoreTelemetry, STORE_SCHEMA_VERSION};
+pub use sweep::{run_cells, ExecMode, MixCell, Sweep, SweepStoreOutcome};
 
 /// Default instructions simulated per core for performance experiments.
 /// The paper simulates 1 B instructions per benchmark on Gem5; this
@@ -68,7 +71,9 @@ impl MixRun {
         }
     }
 
-    /// All raw counters and derived metrics as a JSON object.
+    /// All raw counters and derived metrics as a JSON object. This is also
+    /// the payload schema of the persistent [`store`]: what `to_json`
+    /// writes, [`from_stored`](Self::from_stored) reads back bit-identically.
     #[must_use]
     pub fn to_json(&self) -> Json {
         Json::object()
@@ -81,6 +86,29 @@ impl MixRun {
             .field("prefetch_hits", self.prefetch_hits)
             .field("normalized_performance", self.normalized_performance())
             .field("false_positives_per_mi", self.false_positives_per_mi())
+    }
+
+    /// Rebuilds a run from a stored [`to_json`](Self::to_json) payload.
+    /// `mix` is the expecting cell's (static) mix name; a payload whose
+    /// recorded mix disagrees — or that does not parse — returns `None`,
+    /// which the sweep engine treats as a cache miss (validate-everything:
+    /// a corrupt record degrades to recomputation, never to a wrong figure).
+    #[must_use]
+    pub fn from_stored(mix: &'static str, payload: &str) -> Option<Self> {
+        let doc = Json::parse(payload).ok()?;
+        if doc.get("mix")?.as_str()? != mix {
+            return None;
+        }
+        let field = |name: &str| doc.get(name).and_then(Json::as_u64);
+        Some(Self {
+            mix,
+            baseline_cycles: field("baseline_cycles")?,
+            monitored_cycles: field("monitored_cycles")?,
+            instructions: field("instructions")?,
+            captures: field("captures")?,
+            prefetches: field("prefetches")?,
+            prefetch_hits: field("prefetch_hits")?,
+        })
     }
 }
 

@@ -1,8 +1,11 @@
 //! CLI contract tests for the harness binaries: which ones accept
 //! `--shards` (their cells run whole simulated systems), `--filter`
 //! (they build pattern-store-backed monitors with a selectable backend),
-//! and `--trace` (they replay recorded trace files), and which reject
+//! `--trace` (they replay recorded trace files), and `--store` (their
+//! sweeps are content-addressed result-store cells), and which reject
 //! them with exit status 2 and an error that names the offending flag.
+//! Conflicting execution-mode flags (`--sequential` with `--threads`)
+//! must be rejected the same way, in either order.
 //!
 //! Cargo exposes each binary's path to this integration test through the
 //! `CARGO_BIN_EXE_<name>` environment variables, so these tests exercise
@@ -87,6 +90,33 @@ const REJECTS_FILTER: &[&str] = &[
     "fig4_collisions",
     "fig7_reverse",
     "overhead_table",
+    "throughput",
+];
+
+/// Binaries whose sweeps are content-addressed (every cell is a
+/// `System::run` over inputs captured by the canonical cell key):
+/// `--store PATH` answers repeat cells from the persistent result store.
+const ACCEPTS_STORE: &[(&str, &[&str])] = &[
+    ("fig8_performance", &["1", "--sequential"]),
+    ("sensitivity_secthr", &["1", "--sequential"]),
+    ("ablation_replacement", &["1", "--sequential"]),
+];
+
+/// Everything else must reject `--store` by name with exit 2:
+/// non-sweep binaries through `expect_no_store`, `trace_replay` because
+/// replayed traces are keyed by file path (not content) so caching them
+/// would be unsound, and `throughput` through its own parser's
+/// unknown-flag path.
+const REJECTS_STORE: &[&str] = &[
+    "ablation_delay",
+    "ablation_filter",
+    "baseline_stateful",
+    "fig3_occupancy",
+    "fig4_collisions",
+    "fig6_attack",
+    "fig7_reverse",
+    "overhead_table",
+    "trace_replay",
     "throughput",
 ];
 
@@ -187,6 +217,10 @@ fn every_binary_helps_and_exits_zero() {
             assert!(
                 stdout.contains("--trace"),
                 "{name} --help must document --trace"
+            );
+            assert!(
+                stdout.contains("--store"),
+                "{name} --help must document --store"
             );
             for backend in ["auto", "classic", "bloom", "xor"] {
                 assert!(
@@ -358,4 +392,112 @@ fn trace_replay_rejects_a_missing_or_corrupt_trace() {
         stderr.contains("error:") && stderr.contains(".trace"),
         "corrupt-trace error must be reported, got:\n{stderr}"
     );
+}
+
+#[test]
+fn store_rejecting_binaries_exit_2_and_name_the_flag() {
+    for name in REJECTS_STORE {
+        let output = Command::new(bin_path(name))
+            .args(["--store", "some.store"])
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+        assert_eq!(
+            output.status.code(),
+            Some(2),
+            "{name} must exit 2 on --store"
+        );
+        let stderr = String::from_utf8_lossy(&output.stderr);
+        assert!(
+            stderr.contains("--store"),
+            "{name}'s rejection must name the offending flag, got:\n{stderr}"
+        );
+        assert!(
+            stderr.contains("error:"),
+            "{name}'s rejection must be an error line, got:\n{stderr}"
+        );
+    }
+}
+
+#[test]
+fn store_accepting_binaries_warm_rerun_is_byte_identical() {
+    for (name, scale_args) in ACCEPTS_STORE {
+        let stem = format!(
+            "{}/cli_store_{}_{name}",
+            std::env::temp_dir().display(),
+            std::process::id()
+        );
+        let store = format!("{stem}.store");
+        std::fs::remove_file(&store).ok();
+        let run = |json: &str| {
+            let output = Command::new(bin_path(name))
+                .args(*scale_args)
+                .args(["--store", &store, "--json", json])
+                .output()
+                .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+            let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+            assert_eq!(
+                output.status.code(),
+                Some(0),
+                "{name} must accept --store (stderr: {stderr})"
+            );
+            stderr
+        };
+
+        let cold_json = format!("{stem}_cold.json");
+        let cold_stderr = run(&cold_json);
+        assert!(
+            cold_stderr.contains("0 warm"),
+            "{name}'s first run must be all cold, got:\n{cold_stderr}"
+        );
+
+        let warm_json = format!("{stem}_warm.json");
+        let warm_stderr = run(&warm_json);
+        assert!(
+            warm_stderr.contains("0 cold"),
+            "{name}'s rerun must be answered from the store, got:\n{warm_stderr}"
+        );
+        // The cache's core contract: warm results are byte-identical to the
+        // cold run's, down to the emitted JSON document.
+        let cold = std::fs::read(&cold_json).expect("cold --json output");
+        let warm = std::fs::read(&warm_json).expect("warm --json output");
+        assert_eq!(
+            cold, warm,
+            "{name}'s warm --json document must be byte-identical to the cold one"
+        );
+
+        std::fs::remove_file(&store).ok();
+        std::fs::remove_file(&cold_json).ok();
+        std::fs::remove_file(&warm_json).ok();
+    }
+}
+
+#[test]
+fn conflicting_execution_mode_flags_exit_2_and_name_both() {
+    // Every shared-parser binary rejects `--sequential --threads N`, in
+    // either order, before doing any work.
+    for name in ["fig8_performance", "ablation_delay", "trace_replay"] {
+        for order in [
+            ["--sequential", "--threads", "2"],
+            ["--threads", "2", "--sequential"],
+        ] {
+            let output = Command::new(bin_path(name))
+                .args(order)
+                .output()
+                .unwrap_or_else(|e| panic!("failed to spawn {name}: {e}"));
+            assert_eq!(
+                output.status.code(),
+                Some(2),
+                "{name} must exit 2 on {order:?}"
+            );
+            let stderr = String::from_utf8_lossy(&output.stderr);
+            assert!(
+                stderr.contains("--sequential") && stderr.contains("--threads"),
+                "{name}'s conflict error must name both flags, got:\n{stderr}"
+            );
+            assert!(
+                stderr.contains("error:"),
+                "{name}'s rejection must be an error line, got:\n{stderr}"
+            );
+        }
+    }
 }

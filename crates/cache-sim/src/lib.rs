@@ -63,7 +63,7 @@ pub mod epoch;
 pub mod hierarchy;
 pub mod line;
 pub mod observer;
-pub(crate) mod pool;
+pub mod pool;
 pub mod replacement;
 pub mod stats;
 pub mod system;
@@ -77,6 +77,7 @@ pub use epoch::{EpochTelemetry, EpochWindow, ShardSpec, DEFAULT_EPOCH_CYCLES};
 pub use hierarchy::Hierarchy;
 pub use line::{LineMeta, SharerSet};
 pub use observer::{NullObserver, RecordingObserver, TrafficObserver};
+pub use pool::WorkerPool;
 pub use replacement::Replacement;
 pub use stats::{CoreStats, HierarchyStats, LevelStats};
 pub use system::{SimReport, System};

@@ -59,7 +59,10 @@ struct Shared {
 }
 
 /// Persistent worker threads executing per-epoch closures (see module docs).
-pub(crate) struct WorkerPool {
+///
+/// Public beyond the epoch engine: `pipo-serve` schedules cold sweep cells
+/// across the same pool type instead of spawning ad-hoc threads per job.
+pub struct WorkerPool {
     shared: Arc<Shared>,
     threads: Vec<JoinHandle<()>>,
 }

@@ -84,7 +84,9 @@ fn main() {
         );
         text.into_bytes()
     };
-    std::fs::write(path, &bytes).unwrap_or_else(|e| {
+    // Atomic (temp + rename): a recording killed mid-write must never leave
+    // a truncated trace behind for a later replay to trip over.
+    pipo_bench::write_atomic(path, &bytes).unwrap_or_else(|e| {
         eprintln!("error: cannot write {path}: {e}");
         std::process::exit(1);
     });
